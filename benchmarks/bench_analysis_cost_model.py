@@ -1,0 +1,60 @@
+"""§5.1/§5.2 — the analytical model's checkable claims, regenerated.
+
+Not a figure in the paper, but the quantitative backbone of §5: the
+average code length estimate (Equation 7), the grid object counting
+(Fig 5.3), and the exact Equation 1–3 cost over the Fig 6.7 parameter
+grid.  See the reproduction note in :mod:`repro.analysis.cost_model` on
+why the printed Equation 4 cannot be re-derived mechanically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import (
+    average_code_length_estimate,
+    exact_cost,
+    paper_optimal_parameters,
+)
+from repro.workloads import format_table
+
+
+def test_cost_model_grid(benchmark):
+    sp = 1000.0
+    rows = []
+    for t in (5, 10, 15, 20, 25):
+        rows.append(
+            [f"T={t}"]
+            + [
+                exact_cost(float(c), float(t), sp, density=0.01, num_objects=100)
+                / 1e6
+                for c in (2, 3, 4, 5, 6)
+            ]
+        )
+    table = format_table(
+        ["", *(f"c={c} (Mbits)" for c in (2, 3, 4, 5, 6))],
+        rows,
+        title=f"§5.1 — Eq 1-3 expected signature I/O over the Fig 6.7 grid (SP={sp:g})",
+    )
+    claims = format_table(
+        ["claim", "value"],
+        [
+            ["optimal c (paper)", f"{paper_optimal_parameters(sp)[0]:.4f}"],
+            ["optimal T (paper, SP=1000)", f"{paper_optimal_parameters(sp)[1]:.2f}"],
+            ["avg code length at c=e (Eq 7)", f"{average_code_length_estimate(math.e):.4f}"],
+            ["avg code length at c=3", f"{average_code_length_estimate(3.0):.4f}"],
+        ],
+    )
+    write_result("analysis_cost_model", table + "\n\n" + claims)
+
+    values = [float(cell) for row in rows for cell in row[1:]]
+    assert max(values) / min(values) < 10  # the robustness band
+
+    benchmark.pedantic(
+        lambda: exact_cost(math.e, 19.2, sp, density=0.01, num_objects=100),
+        rounds=3,
+        iterations=1,
+    )

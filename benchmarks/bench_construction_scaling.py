@@ -1,0 +1,72 @@
+"""Construction scaling: backend comparison and size sweep.
+
+The §5.2 construction is one Dijkstra sweep per object; this bench
+quantifies (a) the vectorized scipy backend's advantage over the reference
+pure-Python sweep (why the library ships both: one for speed, one for
+transparent correctness) and (b) how construction scales with network size
+at fixed density — near-linear in N·D, as the per-object-sweep structure
+predicts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.builder import run_construction_sweep
+from repro.workloads import build_experiment_suite, format_table
+
+
+def test_backend_and_size_scaling(benchmark):
+    rows = []
+    python_s = {}
+    scipy_s = {}
+    # Warm up the scipy.sparse.csgraph import so the first measurement
+    # does not pay module-load time.
+    warmup = build_experiment_suite(100, seed=1, labels=("0.05",))
+    run_construction_sweep(
+        warmup.network, warmup.datasets["0.05"], backend="scipy"
+    )
+    for num_nodes in (500, 1000, 2000):
+        suite = build_experiment_suite(num_nodes, seed=23, labels=("0.01",))
+        network = suite.network
+        dataset = suite.datasets["0.01"]
+        start = time.perf_counter()
+        d_py, _ = run_construction_sweep(network, dataset, backend="python")
+        python_s[num_nodes] = time.perf_counter() - start
+        start = time.perf_counter()
+        d_sp, _ = run_construction_sweep(network, dataset, backend="scipy")
+        scipy_s[num_nodes] = time.perf_counter() - start
+        import numpy as np
+
+        assert np.array_equal(d_py, d_sp)  # backends agree bit for bit
+        rows.append(
+            [
+                num_nodes,
+                len(dataset),
+                python_s[num_nodes],
+                scipy_s[num_nodes],
+                python_s[num_nodes] / max(scipy_s[num_nodes], 1e-9),
+            ]
+        )
+    table = format_table(
+        ["N", "D", "python (s)", "scipy (s)", "speedup"],
+        rows,
+        title="§5.2 construction sweep — backend comparison",
+    )
+    write_result("construction_scaling", table)
+
+    # The vectorized backend must win at every size tested.
+    for num_nodes in (500, 1000, 2000):
+        assert scipy_s[num_nodes] < python_s[num_nodes]
+
+    suite = build_experiment_suite(1000, seed=23, labels=("0.01",))
+    benchmark.pedantic(
+        lambda: run_construction_sweep(
+            suite.network, suite.datasets["0.01"], backend="scipy"
+        ),
+        rounds=1,
+        iterations=1,
+    )

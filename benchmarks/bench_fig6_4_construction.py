@@ -1,0 +1,124 @@
+"""Fig 6.4 — index construction cost: size (a) and clock time (b).
+
+Paper setup (§6.1): for each of the five datasets, build the full index,
+the NVD (VN³) index, and the signature index; report total index size and
+construction wall-clock time.
+
+Expected shape (paper's findings):
+
+* signature ≈ 1/6–1/7 the size of the full index (ours is bounded by the
+  same bits-per-component argument; the exact ratio depends on M and R);
+* full and signature sizes are proportional to density p, and insensitive
+  to the distribution (0.01 vs 0.01(nu));
+* NVD size moves the *opposite* way — it grows as p decreases, and is
+  sensitive to clustering;
+* construction: signature costs slightly more than full (encoding +
+  compression on top of the same sweep), NVD costs the most for most
+  datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_NODES, Stopwatch, write_result
+from repro.baselines import FullIndex, VN3Index
+from repro.core import SignatureIndex
+from repro.workloads import format_table
+
+
+@pytest.fixture(scope="module")
+def built(construction_suite):
+    """Build all three indexes for every dataset; record sizes and times."""
+    rows = {}
+    network = construction_suite.network
+    for label, dataset in construction_suite.datasets.items():
+        with Stopwatch() as t_full:
+            full = FullIndex.build(network, dataset, backend="scipy")
+        with Stopwatch() as t_vn3:
+            vn3 = VN3Index.build(network, dataset)
+        with Stopwatch() as t_sig:
+            sig = SignatureIndex.build(network, dataset, "paper", backend="scipy")
+        report = sig.storage_report()
+        rows[label] = {
+            "full_bytes": full.size_bytes,
+            "nvd_bytes": vn3.size_bytes,
+            "sig_bytes": report.signature_pages * report.page_size,
+            "full_s": t_full.seconds,
+            "nvd_s": t_vn3.seconds,
+            "sig_s": t_sig.seconds,
+            "objects": len(dataset),
+        }
+    return rows
+
+
+def test_fig6_4a_index_size(built, benchmark, construction_suite):
+    """Fig 6.4(a): index size per dataset, for the three indexes."""
+    labels = list(construction_suite.datasets)
+    table = format_table(
+        ["dataset", "D", "Full (KB)", "NVD (KB)", "Signature (KB)"],
+        [
+            [
+                label,
+                built[label]["objects"],
+                built[label]["full_bytes"] / 1024,
+                built[label]["nvd_bytes"] / 1024,
+                built[label]["sig_bytes"] / 1024,
+            ]
+            for label in labels
+        ],
+        title=f"Fig 6.4(a) — index size (N={BENCH_NODES})",
+    )
+    write_result("fig6_4a_index_size", table)
+
+    # Shape assertions (the paper's findings).
+    for label in labels:
+        row = built[label]
+        # Signature beats full indexing everywhere.
+        assert row["sig_bytes"] < row["full_bytes"]
+    # Full/signature sizes grow with density...
+    assert built["0.05"]["full_bytes"] > built["0.001"]["full_bytes"]
+    assert built["0.05"]["sig_bytes"] > built["0.001"]["sig_bytes"]
+    # ...while the NVD moves the other way (sparse => huge tables).
+    assert built["0.001"]["nvd_bytes"] > built["0.05"]["nvd_bytes"]
+
+    # Benchmark a representative build (the paper's headline index).
+    network = construction_suite.network
+    dataset = construction_suite.datasets["0.01"]
+    benchmark.pedantic(
+        lambda: SignatureIndex.build(network, dataset, "paper", backend="scipy"),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig6_4b_construction_time(built, benchmark, construction_suite):
+    """Fig 6.4(b): construction clock time per dataset."""
+    labels = list(construction_suite.datasets)
+    table = format_table(
+        ["dataset", "Full (s)", "NVD (s)", "Signature (s)"],
+        [
+            [
+                label,
+                built[label]["full_s"],
+                built[label]["nvd_s"],
+                built[label]["sig_s"],
+            ]
+            for label in labels
+        ],
+        title=f"Fig 6.4(b) — construction time (N={BENCH_NODES})",
+    )
+    write_result("fig6_4b_construction_time", table)
+
+    # Signature construction = the same sweep as full indexing plus the
+    # encoding/compression passes, so it must cost at least as much.
+    for label in labels:
+        assert built[label]["sig_s"] >= built[label]["full_s"] * 0.5
+
+    network = construction_suite.network
+    dataset = construction_suite.datasets["0.01"]
+    benchmark.pedantic(
+        lambda: FullIndex.build(network, dataset, backend="scipy"),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures and reporting plumbing.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_NODES`` — network size for the construction/size benches
+  (default 3000; the paper used 183,231 — see DESIGN.md on scale).
+* ``REPRO_BENCH_QUERY_NODES`` — network size for the query benches
+  (default 6000, so the p=0.01 dataset holds ≥ 50 objects and the paper's
+  k=50 sweep is meaningful).
+* ``REPRO_BENCH_QUERIES`` — queries per workload (default 100; the paper
+  used 500–1000).
+
+Every bench writes its paper-style table to ``benchmarks/results/`` and
+prints it, so the regenerated figures survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import build_experiment_suite
+
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "3000"))
+QUERY_NODES = int(os.environ.get("REPRO_BENCH_QUERY_NODES", "6000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "100"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table and echo it (survives pytest capture)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+class Stopwatch:
+    """Tiny perf_counter wrapper for build-time measurements."""
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self.start
+        return False
+
+
+@pytest.fixture(scope="session")
+def construction_suite():
+    """The §6.1 dataset matrix at construction-bench scale."""
+    return build_experiment_suite(BENCH_NODES, seed=2006)
+
+
+@pytest.fixture(scope="session")
+def query_suite():
+    """A larger network for the query benches (k up to 50 needs D ≥ 50)."""
+    return build_experiment_suite(
+        QUERY_NODES, seed=1959, labels=("0.01", "0.01(nu)")
+    )

@@ -1,0 +1,82 @@
+"""POI search: the paper's motivating workload, across all competitors.
+
+A city's points of interest (clustered, like real hospitals/restaurants)
+are indexed four ways — distance signature, full index, VN³/NVD, and the
+index-free online expansion (INE) — and the same kNN / range workloads run
+against each, reporting answers (which must agree) and costs (which tell
+the paper's §6 story in miniature).
+
+Run with ``python examples/poi_search.py``.
+"""
+
+from repro import KnnType, SignatureIndex, clustered_dataset, random_planar_network
+from repro.baselines import FullIndex, VN3Index
+from repro.network import ine_knn, ine_range
+from repro.storage.buffer import LRUBufferPool
+from repro.workloads import format_table, make_query_nodes, measure_queries
+
+
+def main() -> None:
+    network = random_planar_network(4_000, seed=21)
+    pois = clustered_dataset(network, density=0.01, seed=22, num_clusters=8)
+    print(
+        f"city: {network.num_nodes} junctions, {network.num_edges} roads, "
+        f"{len(pois)} POIs in 8 districts\n"
+    )
+
+    signature = SignatureIndex.build(
+        network, pois, buffer_pool=LRUBufferPool(100_000)
+    )
+    full = FullIndex.build(network, pois, buffer_pool=LRUBufferPool(100_000))
+    vn3 = VN3Index.build(network, pois, buffer_pool=LRUBufferPool(100_000))
+
+    # --- the answers agree ------------------------------------------------
+    home = 137
+    sig_answer = signature.knn(home, 3, knn_type=KnnType.EXACT_DISTANCES)
+    full_answer = full.knn(home, 3)
+    vn3_answer = vn3.knn(home, 3)
+    ine_answer = ine_knn(network, home, 3, pois).results
+    assert [d for _, d in sig_answer] == [d for _, d in full_answer]
+    assert [d for _, d in sig_answer] == [d for _, d in vn3_answer]
+    assert [d for _, d in sig_answer] == [d for _, d in ine_answer]
+    print(f"3 nearest POIs to node {home} (all methods agree):")
+    for node, distance in sig_answer:
+        print(f"  POI at node {node}, network distance {distance:g}")
+
+    # --- the costs differ -------------------------------------------------
+    queries = make_query_nodes(network, 60, seed=5)
+    k = 5
+    rows = []
+    for name, runner, index in [
+        ("signature", lambda n: signature.knn(n, k), signature),
+        ("full", lambda n: full.knn(n, k), full),
+        ("vn3", lambda n: vn3.knn(n, k), vn3),
+    ]:
+        m = measure_queries(name, index, runner, queries)
+        rows.append([name, m.pages, m.seconds * 1e3])
+    # INE has no pages (it reads the raw network); report expansion size.
+    settled = sum(
+        ine_knn(network, n, k, pois).nodes_settled for n in queries
+    ) / len(queries)
+    rows.append(["INE (online)", f"{settled:.0f} nodes settled", "-"])
+    print()
+    print(format_table(["method", "pages/query", "ms/query"], rows,
+                       title=f"{k}NN over {len(queries)} random homes"))
+
+    # --- a range workload ---------------------------------------------
+    radius = 60.0
+    sig_range = sorted(signature.range_query(home, radius))
+    ine_range_result = sorted(o for o, _ in ine_range(network, home, radius, pois).results)
+    assert sig_range == ine_range_result
+    print(f"\nPOIs within {radius:g} of node {home}: {sig_range}")
+    print(
+        "how many POIs within each doubling radius:",
+        [
+            int(signature.aggregate_range(home, r, "count"))
+            for r in (30, 60, 120, 240)
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

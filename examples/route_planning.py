@@ -1,0 +1,62 @@
+"""Route planning with continuous kNN: "what's my nearest fuel stop, and
+for how long does that answer hold?"
+
+A driver follows a shortest-path route across the city; the continuous
+kNN query (CNN, §2) reports the nearest fuel stations *and the stretches
+of the route over which that answer stays valid*, using the UNICONS-style
+algorithm on top of the signature index — full kNN evaluations only at
+sub-path endpoints, candidate re-ranking everywhere else.
+
+Run with ``python examples/route_planning.py``.
+"""
+
+from repro import SignatureIndex, random_planar_network, uniform_dataset
+from repro.core.continuous import continuous_knn, naive_continuous_knn
+from repro.network.dijkstra import shortest_path
+
+
+def main() -> None:
+    network = random_planar_network(3_000, seed=88)
+    fuel_stations = uniform_dataset(network, density=0.01, seed=89)
+    index = SignatureIndex.build(network, fuel_stations)
+    print(
+        f"{network.num_nodes} junctions, {len(fuel_stations)} fuel stations"
+    )
+
+    origin, destination = 5, 2345
+    distance, route = shortest_path(network, origin, destination)
+    print(
+        f"route {origin} -> {destination}: {len(route)} junctions, "
+        f"length {distance:g}\n"
+    )
+
+    k = 2
+    segments = continuous_knn(index, route, k)
+    print(f"nearest {k} fuel stations along the route "
+          f"({len(segments)} validity scopes):")
+    for segment in segments:
+        stations = sorted(index.dataset[rank] for rank in segment.knn)
+        span = (
+            f"junction {route[segment.start]}"
+            if segment.start == segment.end
+            else f"junctions {route[segment.start]}..{route[segment.end]}"
+        )
+        print(f"  {span:<28} -> stations at {stations}")
+
+    # The optimized evaluation agrees with the per-node baseline and
+    # costs fewer page accesses.
+    index.reset_counters()
+    continuous_knn(index, route, k)
+    fast_pages = index.counter.logical_reads
+    index.reset_counters()
+    naive_segments = naive_continuous_knn(index, route, k)
+    naive_pages = index.counter.logical_reads
+    assert len(naive_segments) == len(segments)
+    print(
+        f"\npage accesses: UNICONS-style {fast_pages} "
+        f"vs naive per-node {naive_pages}"
+    )
+
+
+if __name__ == "__main__":
+    main()

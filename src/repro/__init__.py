@@ -1,0 +1,91 @@
+"""repro — a reproduction of "Distance Indexing on Road Networks" (VLDB 2006).
+
+The package implements the paper's *distance signature* index — a
+general-purpose distance index for spatial network databases — together
+with every substrate its evaluation depends on: the road-network graph and
+search algorithms, a simulated CCAM-paged storage layer, the full-index
+and Network-Voronoi-Diagram baselines, the §5.1 analytical cost model, and
+a workload/benchmark harness that regenerates each of the paper's tables
+and figures.
+
+Quickstart::
+
+    from repro import (
+        SignatureIndex, random_planar_network, uniform_dataset,
+    )
+
+    network = random_planar_network(2_000, seed=7)
+    objects = uniform_dataset(network, density=0.01, seed=11)
+    index = SignatureIndex.build(network, objects)
+    print(index.knn(node=0, k=3))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    CategoryPartition,
+    DistanceRange,
+    ExponentialPartition,
+    IndexStorageReport,
+    KnnType,
+    ObjectDistanceTable,
+    SignatureComponent,
+    SignatureIndex,
+    SignatureTable,
+    UpdateReport,
+    optimal_exponent,
+    optimal_first_boundary,
+    optimal_partition,
+    paper_evaluation_partition,
+)
+from repro.core import (
+    PathSegment,
+    continuous_knn,
+    load_index,
+    naive_continuous_knn,
+    save_index,
+)
+from repro.errors import ReproError
+from repro.network import (
+    ObjectDataset,
+    RoadNetwork,
+    clustered_dataset,
+    grid_network,
+    manhattan_network,
+    random_planar_network,
+    uniform_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PathSegment",
+    "continuous_knn",
+    "naive_continuous_knn",
+    "save_index",
+    "load_index",
+    "SignatureIndex",
+    "IndexStorageReport",
+    "KnnType",
+    "CategoryPartition",
+    "ExponentialPartition",
+    "optimal_exponent",
+    "optimal_first_boundary",
+    "optimal_partition",
+    "paper_evaluation_partition",
+    "DistanceRange",
+    "SignatureComponent",
+    "SignatureTable",
+    "ObjectDistanceTable",
+    "UpdateReport",
+    "RoadNetwork",
+    "ObjectDataset",
+    "random_planar_network",
+    "grid_network",
+    "manhattan_network",
+    "uniform_dataset",
+    "clustered_dataset",
+]

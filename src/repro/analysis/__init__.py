@@ -1,0 +1,33 @@
+"""Analytical reproductions of §5's derivations (grid cost model)."""
+
+from repro.analysis.empirical import (
+    DistanceProfile,
+    empirical_query_cost,
+    measure_distance_profile,
+    optimize_partition,
+)
+from repro.analysis.cost_model import (
+    average_code_length_estimate,
+    category_bounds,
+    closed_form_cost,
+    exact_cost,
+    grid_nodes_within,
+    grid_objects_within,
+    grid_search_optimum,
+    paper_optimal_parameters,
+)
+
+__all__ = [
+    "DistanceProfile",
+    "empirical_query_cost",
+    "measure_distance_profile",
+    "optimize_partition",
+    "grid_nodes_within",
+    "grid_objects_within",
+    "category_bounds",
+    "exact_cost",
+    "closed_form_cost",
+    "grid_search_optimum",
+    "paper_optimal_parameters",
+    "average_code_length_estimate",
+]

@@ -1,0 +1,27 @@
+"""Baseline indexes and algorithms the paper evaluates against (§2, §6).
+
+* :mod:`repro.baselines.full_index` — exact distances of all objects at
+  every node ("full indexing");
+* :mod:`repro.baselines.nvd` / :mod:`repro.baselines.vn3` — the Network
+  Voronoi Diagram and the VN³ kNN/range algorithms;
+* :mod:`repro.baselines.ier` — incremental Euclidean restriction;
+* the index-free INE baseline lives with the search algorithms in
+  :mod:`repro.network.expansion`.
+"""
+
+from repro.baselines.embedding import EmbeddingIndex
+from repro.baselines.full_index import FullIndex
+from repro.baselines.ier import euclidean_scale, ier_knn, ier_range
+from repro.baselines.nvd import NetworkVoronoiDiagram, VoronoiCell
+from repro.baselines.vn3 import VN3Index
+
+__all__ = [
+    "FullIndex",
+    "EmbeddingIndex",
+    "NetworkVoronoiDiagram",
+    "VoronoiCell",
+    "VN3Index",
+    "euclidean_scale",
+    "ier_knn",
+    "ier_range",
+]

@@ -1,0 +1,132 @@
+"""The full-indexing baseline (§6): exact distances for every node×object.
+
+"The first is full indexing, which stores the exact distances of all
+objects for each node" — 4 bytes per distance, one record per node, laid
+out in CCAM order in dedicated pages.  Queries read the query node's whole
+record and answer in memory, which is why the paper's Figs 6.5/6.6 show it
+flat in both the range radius and k: its cost is the record scan,
+independent of the query's selectivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder import run_construction_sweep
+from repro.errors import QueryError
+from repro.network.datasets import ObjectDataset
+from repro.network.graph import RoadNetwork
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.layout import build_node_file, full_index_record_bits
+from repro.storage.pager import DEFAULT_PAGE_SIZE, PageAccessCounter
+
+__all__ = ["FullIndex"]
+
+
+class FullIndex:
+    """Exact per-node distance lists over a network and dataset."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        dataset: ObjectDataset,
+        distances: np.ndarray,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        storage_strategy: str = "ccam",
+        buffer_pool: LRUBufferPool | None = None,
+    ) -> None:
+        self.network = network
+        self.dataset = dataset
+        #: ``(N, D)``: exact distance from node n to object rank i.
+        self.distances = distances
+        self.page_size = page_size
+        self.counter = PageAccessCounter()
+        self.buffer_pool = buffer_pool
+        record_bits = full_index_record_bits(len(dataset))
+        self._layout = build_node_file(
+            network,
+            "full-index",
+            lambda node: record_bits,
+            counter=self.counter,
+            page_size=page_size,
+            spanning=True,
+            strategy=storage_strategy,
+            buffer_pool=buffer_pool,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        dataset: ObjectDataset,
+        *,
+        backend: str = "auto",
+        page_size: int = DEFAULT_PAGE_SIZE,
+        storage_strategy: str = "ccam",
+        buffer_pool: LRUBufferPool | None = None,
+    ) -> "FullIndex":
+        """Run the per-object Dijkstra sweep and store every distance."""
+        tree_distances, _ = run_construction_sweep(
+            network, dataset, backend=backend
+        )
+        return cls(
+            network,
+            dataset,
+            tree_distances.T.copy(),
+            page_size=page_size,
+            storage_strategy=storage_strategy,
+            buffer_pool=buffer_pool,
+        )
+
+    # ------------------------------------------------------------------
+    # queries — one record read, then in-memory work
+    # ------------------------------------------------------------------
+    def _read_record(self, node: int) -> np.ndarray:
+        self._layout.file.read(node)
+        return self.distances[node]
+
+    def distance(self, node: int, object_node: int) -> float:
+        """Exact distance from ``node`` to the object at ``object_node``."""
+        row = self._read_record(node)
+        return float(row[self.dataset.rank(object_node)])
+
+    def range_query(self, node: int, radius: float) -> list[tuple[int, float]]:
+        """``(object_node, distance)`` for objects within ``radius``."""
+        if radius < 0:
+            raise QueryError(f"range radius must be non-negative, got {radius}")
+        row = self._read_record(node)
+        hits = np.flatnonzero(row <= radius)
+        return [(self.dataset[int(rank)], float(row[rank])) for rank in hits]
+
+    def knn(self, node: int, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nearest objects with exact distances, ascending."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        row = self._read_record(node)
+        reachable = np.flatnonzero(np.isfinite(row))
+        k = min(k, len(reachable))
+        if k == 0:
+            return []
+        order = reachable[np.argsort(row[reachable], kind="stable")[:k]]
+        return [(self.dataset[int(rank)], float(row[rank])) for rank in order]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint of the distance records."""
+        return self._layout.file.size_bytes
+
+    def reset_counters(self) -> None:
+        """Zero the page-access counter (and buffer pool, if any)."""
+        self.counter.reset()
+        if self.buffer_pool is not None:
+            self.buffer_pool.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FullIndex(nodes={self.network.num_nodes}, "
+            f"objects={len(self.dataset)}, pages={self._layout.file.num_pages})"
+        )

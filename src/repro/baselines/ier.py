@@ -1,0 +1,108 @@
+"""IER: incremental Euclidean restriction (§2, related-work baseline).
+
+Papadias et al. process queries in Euclidean space first — "assuming that
+Euclidean distance is the lower bound of network distance" — and refine the
+candidates with network-distance computations.  §2 points out the
+limitation this reproduction also honors: on networks whose weights are not
+road lengths (e.g. travel times, or this repo's random-weight synthetic
+networks) the lower-bound assumption fails.  :func:`euclidean_scale`
+computes the largest factor that restores admissibility, so IER stays
+*correct* everywhere while its pruning power honestly degrades — exactly
+the trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import QueryError
+from repro.network.astar import astar_distance, safe_heuristic_scale
+from repro.network.datasets import ObjectDataset
+from repro.network.graph import RoadNetwork
+
+__all__ = ["euclidean_scale", "ier_knn", "ier_range"]
+
+
+def euclidean_scale(network: RoadNetwork) -> float:
+    """The admissible scale for Euclidean lower bounds on this network.
+
+    ``scale * euclid(u, v) <= network_distance(u, v)`` holds for every node
+    pair.  Equal to :func:`repro.network.astar.safe_heuristic_scale`.
+    """
+    return safe_heuristic_scale(network)
+
+
+def ier_knn(
+    network: RoadNetwork,
+    node: int,
+    k: int,
+    dataset: ObjectDataset,
+    *,
+    scale: float | None = None,
+) -> tuple[list[tuple[int, float]], int]:
+    """kNN by incremental Euclidean restriction.
+
+    Candidates are drawn in ascending *scaled Euclidean* order; each is
+    refined with an exact network-distance computation (A* with the same
+    admissible heuristic).  The search stops once the next candidate's
+    lower bound exceeds the current k-th network distance.  Returns
+    ``(results, refinements)`` where ``refinements`` counts the exact
+    distance computations — IER's dominant cost.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if scale is None:
+        scale = euclidean_scale(network)
+    heap: list[tuple[float, int]] = []
+    for object_node in dataset:
+        lower = scale * network.euclidean_distance(node, object_node)
+        heapq.heappush(heap, (lower, object_node))
+
+    results: list[tuple[float, int]] = []  # (network distance, object node)
+    refinements = 0
+    while heap:
+        lower, object_node = heapq.heappop(heap)
+        if len(results) >= k and lower > results[-1][0]:
+            break
+        refinements += 1
+        distance = astar_distance(
+            network, node, object_node, heuristic_scale=scale
+        )
+        results.append((distance, object_node))
+        results.sort()
+        results = results[:k] if len(results) > k else results
+    return [(obj, dist) for dist, obj in results[:k]], refinements
+
+
+def ier_range(
+    network: RoadNetwork,
+    node: int,
+    radius: float,
+    dataset: ObjectDataset,
+    *,
+    scale: float | None = None,
+) -> tuple[list[tuple[int, float]], int]:
+    """Range query by Euclidean restriction.
+
+    Objects whose scaled Euclidean distance exceeds ``radius`` are pruned
+    outright; the rest are refined exactly.  Returns ``(results,
+    refinements)``.
+    """
+    if radius < 0:
+        raise QueryError(f"range radius must be non-negative, got {radius}")
+    if scale is None:
+        scale = euclidean_scale(network)
+    results: list[tuple[int, float]] = []
+    refinements = 0
+    for object_node in dataset:
+        lower = scale * network.euclidean_distance(node, object_node)
+        if lower > radius:
+            continue
+        refinements += 1
+        distance = astar_distance(
+            network, node, object_node, heuristic_scale=scale
+        )
+        if distance <= radius:
+            results.append((object_node, distance))
+    results.sort(key=lambda pair: (pair[1], pair[0]))
+    return results, refinements

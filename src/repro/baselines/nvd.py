@@ -1,0 +1,216 @@
+"""The Network Voronoi Diagram (NVD) — substrate of the VN³ baseline (§2, §6).
+
+Kolahdouzan & Shahabi's VN³ [8] precomputes, per object, the *network
+Voronoi polygon* (NVP): the set of nodes closer to that object than to any
+other.  Around the diagram it stores:
+
+* the cell assignment (one multi-source Dijkstra sweep: every node is
+  claimed by its nearest object);
+* the **border nodes** of each cell (nodes with a neighbor in another
+  cell);
+* **border-to-border** distances within each cell (``Bor−Bor``);
+* **object-to-border** distances (``OPC``);
+* **inner-to-border** distances for every node of every cell — the piece
+  whose size "increases significantly as the NVP expands", which is why
+  the paper finds NVD indexing "forbiddingly high for sparse datasets".
+
+Within-cell distances are computed *restricted to the cell*; chaining them
+with the network edges that cross cell boundaries yields a **border
+graph** on which Dijkstra reproduces exact network distances between any
+node and any object (the first border on a shortest path out of a cell is
+always reachable within the cell, so restricted seeds are exact).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.network.datasets import ObjectDataset
+from repro.network.dijkstra import multi_source_tree
+from repro.network.graph import RoadNetwork
+
+__all__ = ["VoronoiCell", "NetworkVoronoiDiagram"]
+
+
+@dataclass(slots=True)
+class VoronoiCell:
+    """One network Voronoi polygon.
+
+    Attributes
+    ----------
+    rank:
+        The generator object's dataset rank.
+    generator:
+        The generator object's node id.
+    nodes:
+        All nodes claimed by this cell (including the generator).
+    border_nodes:
+        Cell nodes with at least one neighbor in another cell.
+    adjacent_cells:
+        Ranks of cells sharing a crossing edge with this one.
+    """
+
+    rank: int
+    generator: int
+    nodes: list[int] = field(default_factory=list)
+    border_nodes: list[int] = field(default_factory=list)
+    adjacent_cells: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the cell."""
+        return len(self.nodes)
+
+
+def _restricted_dijkstra(
+    network: RoadNetwork, source: int, allowed: set[int]
+) -> dict[int, float]:
+    """Dijkstra from ``source`` that never leaves the ``allowed`` node set."""
+    dist: dict[int, float] = {source: 0.0}
+    heap = [(0.0, source)]
+    settled: set[int] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in network.neighbors(u):
+            if v not in allowed:
+                continue
+            nd = d + w
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return {u: dist[u] for u in settled}
+
+
+class NetworkVoronoiDiagram:
+    """The NVD of a dataset over a network, with all VN³ precomputation.
+
+    Attributes (all derived in :meth:`build`):
+
+    * ``owner_rank[v]`` — the cell (object rank) node ``v`` belongs to;
+    * ``distance_to_owner[v]`` — exact distance from ``v`` to its
+      generator;
+    * ``cells[rank]`` — the :class:`VoronoiCell` records;
+    * ``inner_to_border[v]`` — dict border-node → restricted distance from
+      ``v`` (only for borders of ``v``'s own cell);
+    * ``border_graph[b]`` — list of ``(border, distance)`` successors:
+      within-cell pairs plus boundary-crossing network edges.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        dataset: ObjectDataset,
+        owner_rank: np.ndarray,
+        distance_to_owner: np.ndarray,
+        cells: list[VoronoiCell],
+        inner_to_border: list[dict[int, float]],
+        border_graph: dict[int, list[tuple[int, float]]],
+    ) -> None:
+        self.network = network
+        self.dataset = dataset
+        self.owner_rank = owner_rank
+        self.distance_to_owner = distance_to_owner
+        self.cells = cells
+        self.inner_to_border = inner_to_border
+        self.border_graph = border_graph
+
+    @classmethod
+    def build(
+        cls, network: RoadNetwork, dataset: ObjectDataset
+    ) -> "NetworkVoronoiDiagram":
+        """Compute cells, borders, and all stored distance tables."""
+        dataset.validate_against(network)
+        if len(dataset) == 0:
+            raise IndexError_("cannot build an NVD over an empty dataset")
+        sweep = multi_source_tree(network, dataset)
+        owner_node = np.asarray(sweep.owner)
+        distance_to_owner = np.asarray(sweep.distance)
+        owner_rank = np.full(network.num_nodes, -1, dtype=np.int64)
+        for rank, object_node in enumerate(dataset):
+            owner_rank[owner_node == object_node] = rank
+
+        cells = [
+            VoronoiCell(rank=rank, generator=dataset[rank])
+            for rank in range(len(dataset))
+        ]
+        for node in network.nodes():
+            rank = int(owner_rank[node])
+            if rank >= 0:
+                cells[rank].nodes.append(node)
+
+        # Borders and cell adjacency from boundary-crossing edges.
+        border_graph: dict[int, list[tuple[int, float]]] = {}
+        for node in network.nodes():
+            rank = int(owner_rank[node])
+            if rank < 0:
+                continue
+            is_border = False
+            for neighbor, weight in network.neighbors(node):
+                other = int(owner_rank[neighbor])
+                if other != rank and other >= 0:
+                    is_border = True
+                    cells[rank].adjacent_cells.add(other)
+                    border_graph.setdefault(node, []).append((neighbor, weight))
+            if is_border:
+                cells[rank].border_nodes.append(node)
+
+        # Within-cell restricted distances: border→all inner (gives both
+        # the inner-to-border table and the Bor−Bor within-cell edges).
+        inner_to_border: list[dict[int, float]] = [
+            {} for _ in range(network.num_nodes)
+        ]
+        for cell in cells:
+            allowed = set(cell.nodes)
+            for border in cell.border_nodes:
+                reach = _restricted_dijkstra(network, border, allowed)
+                for node, distance in reach.items():
+                    inner_to_border[node][border] = distance
+                for other in cell.border_nodes:
+                    if other != border and other in reach:
+                        border_graph.setdefault(border, []).append(
+                            (other, reach[other])
+                        )
+        return cls(
+            network,
+            dataset,
+            owner_rank,
+            distance_to_owner,
+            cells,
+            inner_to_border,
+            border_graph,
+        )
+
+    # ------------------------------------------------------------------
+    # size model (Fig 6.4a's NVD curve)
+    # ------------------------------------------------------------------
+    def cell_record_bits(self, rank: int) -> int:
+        """Stored bits of one cell's tables: ids, adjacency, OPC, Bor−Bor."""
+        cell = self.cells[rank]
+        borders = len(cell.border_nodes)
+        header = 64
+        border_ids = borders * 32
+        adjacency = len(cell.adjacent_cells) * 32
+        opc = borders * 32
+        bor_bor = borders * (borders - 1) // 2 * 32
+        return header + border_ids + adjacency + opc + bor_bor
+
+    def inner_record_bits(self, node: int) -> int:
+        """Stored bits of one node's inner-to-border row (+ owner distance)."""
+        return 32 + len(self.inner_to_border[node]) * 32
+
+    def total_border_nodes(self) -> int:
+        """Number of distinct border nodes across all cells."""
+        return sum(len(cell.border_nodes) for cell in self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkVoronoiDiagram(cells={len(self.cells)}, "
+            f"borders={self.total_border_nodes()})"
+        )

@@ -1,0 +1,262 @@
+"""VN³: Voronoi-based network nearest-neighbor search (§2, §6 baseline).
+
+Query processing over the :class:`~repro.baselines.nvd.NetworkVoronoiDiagram`:
+
+* **First NN** is the generator of the query node's cell, found by point
+  location in the NVP R-tree ("searching for the first nearest neighbor is
+  reduced to a point location problem").
+* **kNN** exploits the paper's cited theorem — the k-th NN is adjacent (in
+  the NVD) to some i-th NN with i < k — by expanding outward cell by cell.
+  Distances to further generators chain the precomputed tables: the query
+  node's inner-to-border row seeds a Dijkstra on the border graph whose
+  settle order finalizes object distances exactly.
+* **Range query**: the paper notes NVD has no native range algorithm and
+  designs one (§6): check the own cell's generator, then expand to
+  adjacent NVPs "until the distance exceeds the threshold" — the same
+  border-graph expansion, bounded by the radius.
+
+I/O model: an R-tree descent (root touch + leaf record) for point
+location, the query node's inner-to-border record, and one cell-tables
+record (``Bor−Bor`` + ``OPC`` + adjacency) per *visited* cell.  Visiting
+many large cells is precisely what makes VN³ "degrade sharply" for large
+k and sparse datasets (Figs 6.5–6.6).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.baselines.nvd import NetworkVoronoiDiagram
+from repro.errors import QueryError
+from repro.network.datasets import ObjectDataset
+from repro.network.graph import RoadNetwork
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pager import DEFAULT_PAGE_SIZE, PageAccessCounter, PagedFile
+
+__all__ = ["VN3Index"]
+
+#: Bits per NVP R-tree entry: an MBR (4 × 4 bytes), a child pointer and a
+#: generator id (4 bytes each).
+_RTREE_ENTRY_BITS = 24 * 8
+
+
+class VN3Index:
+    """The VN³ baseline: NVD + paged storage + query algorithms."""
+
+    def __init__(
+        self,
+        nvd: NetworkVoronoiDiagram,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool: LRUBufferPool | None = None,
+    ) -> None:
+        self.nvd = nvd
+        self.network = nvd.network
+        self.dataset = nvd.dataset
+        self.page_size = page_size
+        self.counter = PageAccessCounter()
+        self.buffer_pool = buffer_pool
+
+        # NVP R-tree: one leaf entry per cell plus inner levels; modeled as
+        # a paged file with one record per cell, read during point location.
+        self._rtree_file = PagedFile(
+            "nvp-rtree",
+            page_size=page_size,
+            spanning=False,
+            counter=self.counter,
+            buffer_pool=buffer_pool,
+        )
+        for cell in nvd.cells:
+            # A leaf entry plus the polygon outline (its border vertices).
+            bits = _RTREE_ENTRY_BITS + len(cell.border_nodes) * 2 * 32
+            self._rtree_file.append_record(cell.rank, bits)
+
+        # Cell tables: Bor−Bor, OPC, adjacency — one record per cell.
+        self._cell_file = PagedFile(
+            "nvd-cells",
+            page_size=page_size,
+            spanning=True,
+            counter=self.counter,
+            buffer_pool=buffer_pool,
+        )
+        for cell in nvd.cells:
+            self._cell_file.append_record(cell.rank, nvd.cell_record_bits(cell.rank))
+
+        # Inner-to-border rows: one record per network node.
+        self._inner_file = PagedFile(
+            "nvd-inner",
+            page_size=page_size,
+            spanning=True,
+            counter=self.counter,
+            buffer_pool=buffer_pool,
+        )
+        for node in self.network.nodes():
+            self._inner_file.append_record(node, nvd.inner_record_bits(node))
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        dataset: ObjectDataset,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool: LRUBufferPool | None = None,
+    ) -> "VN3Index":
+        """Build the NVD (one multi-source sweep + per-cell tables)."""
+        nvd = NetworkVoronoiDiagram.build(network, dataset)
+        return cls(nvd, page_size=page_size, buffer_pool=buffer_pool)
+
+    # ------------------------------------------------------------------
+    # I/O charging
+    # ------------------------------------------------------------------
+    def _point_locate(self, node: int) -> int:
+        """R-tree point location: the cell rank of ``node``."""
+        self._rtree_file.touch_page(0)  # root
+        rank = int(self.nvd.owner_rank[node])
+        if rank < 0:
+            raise QueryError(f"node {node} belongs to no Voronoi cell")
+        self._rtree_file.read(rank)  # leaf entry / polygon outline
+        return rank
+
+    def _visit_cell(self, rank: int, visited: set[int]) -> None:
+        if rank not in visited:
+            visited.add(rank)
+            self._cell_file.read(rank)
+
+    # ------------------------------------------------------------------
+    # the shared border-graph expansion
+    # ------------------------------------------------------------------
+    def _expand(
+        self,
+        node: int,
+        *,
+        stop_objects: int | None,
+        radius: float | None,
+    ) -> tuple[dict[int, float], set[int]]:
+        """Expand from ``node`` over the border graph.
+
+        Produces exact object distances in ascending order until either
+        ``stop_objects`` distances are final or the expansion passes
+        ``radius``.  Returns ``(final_object_distances, visited_cells)``.
+        """
+        nvd = self.nvd
+        own_rank = self._point_locate(node)
+        visited: set[int] = set()
+        self._visit_cell(own_rank, visited)
+        self._inner_file.read(node)
+
+        # Candidate object distances; the own generator is known exactly.
+        candidates: dict[int, float] = {
+            own_rank: float(nvd.distance_to_owner[node])
+        }
+        final: dict[int, float] = {}
+
+        border_dist: dict[int, float] = {}
+        heap: list[tuple[float, int]] = []
+        for border, distance in nvd.inner_to_border[node].items():
+            border_dist[border] = distance
+            heapq.heappush(heap, (distance, border))
+
+        settled: set[int] = set()
+        while True:
+            frontier = heap[0][0] if heap else math.inf
+            # Finalize candidates no future border can undercut.
+            for rank, distance in sorted(candidates.items(), key=lambda kv: kv[1]):
+                if distance <= frontier and rank not in final:
+                    final[rank] = distance
+            for rank in final:
+                candidates.pop(rank, None)
+            if stop_objects is not None and len(final) >= stop_objects:
+                break
+            if radius is not None and frontier > radius:
+                # Every object within the radius is already final (its
+                # candidate distance was <= radius < frontier); the rest
+                # cannot qualify.
+                break
+            if not heap:
+                for rank, distance in candidates.items():
+                    final[rank] = distance
+                break
+
+            d, border = heapq.heappop(heap)
+            if border in settled or d > border_dist.get(border, math.inf):
+                continue
+            settled.add(border)
+            cell_rank = int(nvd.owner_rank[border])
+            self._visit_cell(cell_rank, visited)
+            # The settled border offers its own cell's generator (OPC).
+            opc = float(nvd.distance_to_owner[border])
+            offer = d + opc
+            if offer < candidates.get(cell_rank, math.inf) and cell_rank not in final:
+                candidates[cell_rank] = offer
+            for neighbor, weight in nvd.border_graph.get(border, ()):
+                nd = d + weight
+                if nd < border_dist.get(neighbor, math.inf):
+                    border_dist[neighbor] = nd
+                    heapq.heappush(heap, (nd, neighbor))
+        return final, visited
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def first_nn(self, node: int) -> tuple[int, float]:
+        """The nearest object: point location in the NVP R-tree."""
+        rank = self._point_locate(node)
+        self._inner_file.read(node)
+        return self.dataset[rank], float(self.nvd.distance_to_owner[node])
+
+    def knn(self, node: int, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nearest objects with exact distances, ascending."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if k == 1:
+            return [self.first_nn(node)]
+        final, _ = self._expand(node, stop_objects=k, radius=None)
+        ordered = sorted(final.items(), key=lambda kv: (kv[1], kv[0]))[:k]
+        return [(self.dataset[rank], distance) for rank, distance in ordered]
+
+    def range_query(self, node: int, radius: float) -> list[tuple[int, float]]:
+        """Objects within ``radius``: the paper's §6 NVD range algorithm."""
+        if radius < 0:
+            raise QueryError(f"range radius must be non-negative, got {radius}")
+        final, _ = self._expand(node, stop_objects=None, radius=radius)
+        hits = [
+            (self.dataset[rank], distance)
+            for rank, distance in final.items()
+            if distance <= radius
+        ]
+        hits.sort(key=lambda pair: (pair[1], pair[0]))
+        return hits
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint: R-tree + cell tables + inner rows."""
+        return (
+            self._rtree_file.size_bytes
+            + self._cell_file.size_bytes
+            + self._inner_file.size_bytes
+        )
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Footprint per component, in bytes."""
+        return {
+            "rtree": self._rtree_file.size_bytes,
+            "cell_tables": self._cell_file.size_bytes,
+            "inner_to_border": self._inner_file.size_bytes,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the page-access counter (and buffer pool, if any)."""
+        self.counter.reset()
+        if self.buffer_pool is not None:
+            self.buffer_pool.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VN3Index(cells={len(self.nvd.cells)}, "
+            f"size={self.size_bytes / 1e6:.2f} MB)"
+        )

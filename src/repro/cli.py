@@ -1,0 +1,266 @@
+"""Command-line interface: generate, build, persist, and query indexes.
+
+Usage (also via ``python -m repro``):
+
+```
+repro generate-network net.txt --nodes 2000 --seed 7
+repro generate-dataset net.txt objects.txt --density 0.01 --seed 1
+repro build net.txt objects.txt index_dir --partition optimal
+repro info index_dir
+repro query index_dir knn --node 42 --k 5
+repro query index_dir range --node 42 --radius 50
+repro query index_dir distance --node 42 --object 137
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import KnnType, SignatureIndex
+from repro.core.persistence import load_index, save_index
+from repro.errors import ReproError
+from repro.network.datasets import clustered_dataset, uniform_dataset
+from repro.network.generators import random_planar_network
+from repro.network.io import (
+    load_dataset,
+    load_network,
+    save_dataset,
+    save_network,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distance-signature indexing on road networks "
+            "(VLDB 2006 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen_net = sub.add_parser(
+        "generate-network", help="generate a synthetic road network"
+    )
+    gen_net.add_argument("output", help="network file to write")
+    gen_net.add_argument("--nodes", type=int, default=2000)
+    gen_net.add_argument("--seed", type=int, default=0)
+    gen_net.add_argument("--mean-degree", type=float, default=4.0)
+
+    gen_ds = sub.add_parser(
+        "generate-dataset", help="place objects on a network"
+    )
+    gen_ds.add_argument("network", help="network file to read")
+    gen_ds.add_argument("output", help="dataset file to write")
+    gen_ds.add_argument("--density", type=float, default=0.01)
+    gen_ds.add_argument("--seed", type=int, default=0)
+    gen_ds.add_argument(
+        "--clusters",
+        type=int,
+        default=0,
+        help="cluster count for a non-uniform dataset (0 = uniform)",
+    )
+
+    build = sub.add_parser("build", help="build and persist a signature index")
+    build.add_argument("network", help="network file")
+    build.add_argument("dataset", help="dataset file")
+    build.add_argument("index_dir", help="directory to write the index to")
+    build.add_argument(
+        "--partition",
+        choices=("optimal", "paper", "empirical"),
+        default="optimal",
+        help=(
+            "category partition policy: §5.1 optimal, §6.1 evaluation, or "
+            "the empirical optimizer tuned to --spreadings"
+        ),
+    )
+    build.add_argument(
+        "--spreadings",
+        default=None,
+        help=(
+            "comma-separated workload spreadings (radii / k-th NN "
+            "distances) for --partition empirical"
+        ),
+    )
+    build.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="skip §5.3 signature compression",
+    )
+
+    info = sub.add_parser("info", help="describe a persisted index")
+    info.add_argument("index_dir")
+
+    net_info = sub.add_parser(
+        "network-info", help="structural statistics of a network file"
+    )
+    net_info.add_argument("network")
+    net_info.add_argument(
+        "--dataset",
+        default=None,
+        help="optional dataset file: adds sampled distance statistics",
+    )
+
+    query = sub.add_parser("query", help="query a persisted index")
+    query.add_argument("index_dir")
+    query_sub = query.add_subparsers(dest="query_type", required=True)
+
+    knn = query_sub.add_parser("knn", help="k nearest neighbors")
+    knn.add_argument("--node", type=int, required=True)
+    knn.add_argument("--k", type=int, default=1)
+
+    rng = query_sub.add_parser("range", help="objects within a radius")
+    rng.add_argument("--node", type=int, required=True)
+    rng.add_argument("--radius", type=float, required=True)
+
+    dist = query_sub.add_parser("distance", help="exact network distance")
+    dist.add_argument("--node", type=int, required=True)
+    dist.add_argument("--object", type=int, required=True, dest="object_node")
+
+    return parser
+
+
+def _cmd_generate_network(args) -> int:
+    network = random_planar_network(
+        args.nodes, seed=args.seed, mean_degree=args.mean_degree
+    )
+    save_network(network, args.output)
+    print(
+        f"wrote {args.output}: {network.num_nodes} nodes, "
+        f"{network.num_edges} edges"
+    )
+    return 0
+
+
+def _cmd_generate_dataset(args) -> int:
+    network = load_network(args.network)
+    if args.clusters > 0:
+        dataset = clustered_dataset(
+            network, args.density, seed=args.seed, num_clusters=args.clusters
+        )
+    else:
+        dataset = uniform_dataset(network, args.density, seed=args.seed)
+    save_dataset(dataset, args.output)
+    print(f"wrote {args.output}: {len(dataset)} objects")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    network = load_network(args.network)
+    dataset = load_dataset(args.dataset)
+    partition = args.partition
+    if partition == "empirical":
+        from repro.analysis.empirical import optimize_partition
+        from repro.errors import QueryError
+
+        if not args.spreadings:
+            raise QueryError(
+                "--partition empirical needs --spreadings, e.g. "
+                "--spreadings 10,50,200"
+            )
+        spreadings = [float(tok) for tok in args.spreadings.split(",")]
+        partition, _ = optimize_partition(network, dataset, spreadings)
+        print(
+            f"empirical optimizer: c={partition.c:g}, "
+            f"T={partition.first_boundary:g}"
+        )
+    index = SignatureIndex.build(
+        network,
+        dataset,
+        partition,
+        compress=not args.no_compress,
+    )
+    save_index(index, args.index_dir)
+    report = index.storage_report()
+    print(
+        f"built index in {args.index_dir}: "
+        f"{index.partition.num_categories} categories, "
+        f"{report.signature_pages} signature pages, "
+        f"encoding ratio {report.encoded_ratio:.2f}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    index = load_index(args.index_dir)
+    report = index.storage_report()
+    print(f"nodes:               {index.network.num_nodes}")
+    print(f"edges:               {index.network.num_edges}")
+    print(f"objects:             {len(index.dataset)}")
+    print(f"categories:          {index.partition.num_categories}")
+    print(f"stored encoding:     {index.stored_kind}")
+    print(f"signature pages:     {report.signature_pages}")
+    print(f"adjacency pages:     {report.adjacency_pages}")
+    print(f"raw bits:            {report.raw_bits}")
+    print(f"encoded bits:        {report.encoded_bits}")
+    print(f"compressed bits:     {report.compressed_bits}")
+    return 0
+
+
+def _cmd_network_info(args) -> int:
+    from repro.network.stats import network_stats, sample_distance_stats
+
+    network = load_network(args.network)
+    print(network_stats(network).describe())
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+        print(f"objects:      {len(dataset)} "
+              f"(density {dataset.density(network):.4f})")
+        stats = sample_distance_stats(network, dataset)
+        print(
+            "distance sample: "
+            f"mean {stats['mean']:.1f}, median {stats['median']:.1f}, "
+            f"p90 {stats['p90']:.1f}, max {stats['max']:.1f}"
+        )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    index = load_index(args.index_dir)
+    if args.query_type == "knn":
+        results = index.knn(
+            args.node, args.k, knn_type=KnnType.EXACT_DISTANCES
+        )
+        for object_node, distance in results:
+            print(f"{object_node}\t{distance:g}")
+    elif args.query_type == "range":
+        results = index.range_query(
+            args.node, args.radius, with_distances=True
+        )
+        for object_node, distance in results:
+            print(f"{object_node}\t{distance:g}")
+    else:  # distance
+        print(f"{index.distance(args.node, args.object_node):g}")
+    print(
+        f"# page accesses: {index.counter.logical_reads}", file=sys.stderr
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate-network": _cmd_generate_network,
+    "generate-dataset": _cmd_generate_dataset,
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "network-info": _cmd_network_info,
+    "query": _cmd_query,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

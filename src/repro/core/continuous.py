@@ -1,0 +1,204 @@
+"""Continuous kNN (CNN) queries along a path (§2's UBA/UNICONS context).
+
+A CNN query "returns both the kNNs and the valid scopes of the results
+along a path" — the positions where the kNN set changes.  The paper's
+related work describes two strategies this module provides on top of the
+signature index:
+
+* :func:`naive_continuous_knn` — "a naive solution is to evaluate a kNN
+  query on each node of the path";
+* :func:`uba_continuous_knn` — Kolahdouzan & Shahabi's Upper Bound
+  Algorithm: "reduce the number of kNN evaluations by allowing a kNN
+  result to be valid for a distance range" — after a full evaluation at a
+  node, the answer provably holds for the next ``(d_{k+1} − d_k) / 2``
+  of path distance, so evaluations inside that window are skipped;
+* :func:`continuous_knn` — the UNICONS-style algorithm: split the path at
+  *intersection nodes* (degree > 2), evaluate full kNN only at each
+  sub-path's two endpoints, take the union of the two endpoint kNN sets
+  plus the objects on the sub-path as the candidate set ("the kNNs for
+  this sub-path are thus the union of two kNN sets and the objects along
+  this sub-path"), and resolve every interior node against the candidates
+  only — each candidate's exact distance retrieved through the signature,
+  never a full kNN evaluation.
+
+All three return a list of :class:`PathSegment` runs with a constant kNN
+set and agree on every node's kNN distance profile (the UBA window lemma
+and the UNICONS containment lemma; additionally verified property-style
+in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operations import retrieve_distance
+from repro.core.queries import KnnType, knn_query
+from repro.errors import QueryError
+
+__all__ = [
+    "PathSegment",
+    "naive_continuous_knn",
+    "uba_continuous_knn",
+    "continuous_knn",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PathSegment:
+    """A maximal run of path positions sharing one kNN set.
+
+    Attributes
+    ----------
+    start / end:
+        Inclusive path indices (positions into the query path).
+    knn:
+        The object *ranks* of the k nearest neighbors, as a frozenset
+        (CNN scopes are defined on the set, not the internal order).
+    """
+
+    start: int
+    end: int
+    knn: frozenset[int]
+
+
+def _validate_path(index, path: list[int], k: int) -> None:
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not path:
+        raise QueryError("the query path must contain at least one node")
+    network = index.network
+    for a, b in zip(path, path[1:]):
+        if not network.has_edge(a, b):
+            raise QueryError(
+                f"path step ({a}, {b}) is not a network edge"
+            )
+
+
+def _segments_from_sets(sets: list[frozenset[int]]) -> list[PathSegment]:
+    segments: list[PathSegment] = []
+    start = 0
+    for i in range(1, len(sets) + 1):
+        if i == len(sets) or sets[i] != sets[start]:
+            segments.append(PathSegment(start, i - 1, sets[start]))
+            start = i
+    return segments
+
+
+def naive_continuous_knn(
+    index, path: list[int], k: int
+) -> list[PathSegment]:
+    """CNN by evaluating a type-3 kNN at every path node (the baseline)."""
+    _validate_path(index, path, k)
+    sets = [frozenset(knn_query(index, node, k)) for node in path]
+    return _segments_from_sets(sets)
+
+
+def uba_continuous_knn(index, path: list[int], k: int) -> list[PathSegment]:
+    """CNN with the Upper Bound Algorithm's evaluation skipping.
+
+    After a full type-1 kNN at path position ``i`` returns the sorted
+    distances ``d_1 <= … <= d_k`` (and ``d_{k+1}`` when one more object
+    exists), the same kNN *set* remains valid for every point within path
+    distance ``(d_{k+1} − d_k) / 2`` of node ``i`` — no closer object can
+    overtake within the window (triangle inequality both ways).  Nodes
+    inside the window inherit the set without any evaluation; the first
+    node beyond it is evaluated afresh.
+    """
+    _validate_path(index, path, k)
+    network = index.network
+    num_objects = index.object_table.num_objects
+    sets: list[frozenset[int]] = []
+    i = 0
+    while i < len(path):
+        # Full evaluation at path[i], with one extra neighbor for the
+        # window width (when the dataset has more than k objects).
+        want = min(k + 1, num_objects)
+        with_distances = knn_query(
+            index, path[i], want, knn_type=KnnType.EXACT_DISTANCES
+        )
+        knn_set = frozenset(rank for rank, _ in with_distances[:k])
+        sets.append(knn_set)
+        if len(with_distances) > k:
+            window = (with_distances[k][1] - with_distances[k - 1][1]) / 2.0
+        else:
+            window = float("inf")  # the whole dataset is the answer
+        # Walk forward while cumulative path distance stays in the window.
+        travelled = 0.0
+        j = i + 1
+        while j < len(path):
+            travelled += network.edge_weight(path[j - 1], path[j])
+            if travelled >= window:
+                break
+            sets.append(knn_set)
+            j += 1
+        i = j
+    return _segments_from_sets(sets)
+
+
+def _split_at_intersections(index, path: list[int]) -> list[tuple[int, int]]:
+    """Sub-path index ranges ``[i, j]`` split at intersection nodes.
+
+    An intersection node (degree > 2) starts a new sub-path, per UNICONS;
+    endpoints belong to both neighboring sub-paths.
+    """
+    network = index.network
+    breaks = [0]
+    for i in range(1, len(path) - 1):
+        if network.degree(path[i]) > 2:
+            breaks.append(i)
+    breaks.append(len(path) - 1)
+    ranges = []
+    for a, b in zip(breaks, breaks[1:]):
+        ranges.append((a, b))
+    if not ranges:  # single-node path
+        ranges.append((0, 0))
+    return ranges
+
+
+def _knn_from_candidates(
+    index, node: int, k: int, candidates: frozenset[int]
+) -> frozenset[int]:
+    """The k nearest of ``candidates`` to ``node``, by exact retrieval."""
+    distances = sorted(
+        (retrieve_distance(index, node, rank), rank) for rank in candidates
+    )
+    return frozenset(rank for _, rank in distances[:k])
+
+
+def continuous_knn(index, path: list[int], k: int) -> list[PathSegment]:
+    """UNICONS-style CNN over the signature index.
+
+    Full kNN evaluations happen only at sub-path endpoints; interior
+    nodes rank the (small) candidate set by exact signature retrieval.
+    """
+    _validate_path(index, path, k)
+    if len(path) == 1:
+        return [
+            PathSegment(0, 0, frozenset(knn_query(index, path[0], k)))
+        ]
+    dataset = index.dataset
+    sets: list[frozenset[int] | None] = [None] * len(path)
+    endpoint_cache: dict[int, frozenset[int]] = {}
+
+    def endpoint_knn(position: int) -> frozenset[int]:
+        if position not in endpoint_cache:
+            endpoint_cache[position] = frozenset(
+                knn_query(index, path[position], k)
+            )
+        return endpoint_cache[position]
+
+    for start, end in _split_at_intersections(index, path):
+        knn_start = endpoint_knn(start)
+        knn_end = endpoint_knn(end)
+        on_path = frozenset(
+            dataset.rank(path[i])
+            for i in range(start, end + 1)
+            if path[i] in dataset
+        )
+        candidates = knn_start | knn_end | on_path
+        sets[start] = knn_start
+        sets[end] = knn_end
+        for i in range(start + 1, end):
+            sets[i] = _knn_from_candidates(index, path[i], k, candidates)
+    assert all(s is not None for s in sets)
+    return _segments_from_sets(sets)  # type: ignore[arg-type]

@@ -1,0 +1,116 @@
+"""Queries issued from positions *on road segments* (§1's modeling claim).
+
+The paper restricts objects — and, implicitly, queries — to nodes, arguing
+"the distance to a point on a road segment is simply the distance to one
+of the nodes adjacent to the segment plus the road distance from the node
+to the point".  This module turns that sentence into an API: an
+:class:`EdgeLocation` is a position ``offset`` along edge ``{u, v}``, and
+every query at it decomposes exactly into the two endpoint queries the
+paper describes:
+
+``d(loc, o) = min(offset + d(u, o), (w − offset) + d(v, o))``
+
+so range and kNN answers at mid-edge positions are *exact*, built from the
+node-level signature machinery with no new index structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operations import SignatureIndexProtocol, retrieve_distance
+from repro.core.queries import knn_query, range_query
+from repro.errors import QueryError
+
+__all__ = [
+    "EdgeLocation",
+    "distance_from_location",
+    "range_query_at",
+    "knn_at",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeLocation:
+    """A position along edge ``{u, v}``: ``offset`` from ``u`` toward ``v``.
+
+    ``offset`` must lie in ``[0, weight]``; the endpoints themselves are
+    valid locations (offset 0 or the full weight).
+    """
+
+    u: int
+    v: int
+    offset: float
+
+    def validate(self, index: SignatureIndexProtocol) -> float:
+        """Check the edge exists and the offset fits; return its weight."""
+        weight = index.network.edge_weight(self.u, self.v)
+        if not 0 <= self.offset <= weight:
+            raise QueryError(
+                f"offset {self.offset} outside [0, {weight}] on edge "
+                f"({self.u}, {self.v})"
+            )
+        return weight
+
+
+def distance_from_location(
+    index: SignatureIndexProtocol, location: EdgeLocation, rank: int
+) -> float:
+    """Exact distance from an on-edge position to object ``rank``."""
+    weight = location.validate(index)
+    via_u = location.offset + retrieve_distance(index, location.u, rank)
+    via_v = (weight - location.offset) + retrieve_distance(
+        index, location.v, rank
+    )
+    return min(via_u, via_v)
+
+
+def range_query_at(
+    index: SignatureIndexProtocol, location: EdgeLocation, radius: float
+) -> list[tuple[int, float]]:
+    """Objects within ``radius`` of an on-edge position, with distances.
+
+    ``d(loc, o) <= r  ⟺  d(u, o) <= r − offset  or  d(v, o) <= r − rest``,
+    so two endpoint range queries cover the answer exactly; each hit's
+    distance is then resolved through both endpoints.
+    """
+    if radius < 0:
+        raise QueryError(f"range radius must be non-negative, got {radius}")
+    weight = location.validate(index)
+    candidates: set[int] = set()
+    if radius >= location.offset:
+        candidates.update(
+            range_query(index, location.u, radius - location.offset)
+        )
+    rest = weight - location.offset
+    if radius >= rest:
+        candidates.update(range_query(index, location.v, radius - rest))
+    hits = [
+        (rank, distance_from_location(index, location, rank))
+        for rank in sorted(candidates)
+    ]
+    return [(rank, d) for rank, d in hits if d <= radius]
+
+
+def knn_at(
+    index: SignatureIndexProtocol, location: EdgeLocation, k: int
+) -> list[tuple[int, float]]:
+    """The k nearest objects to an on-edge position, ascending.
+
+    The kNN at the location is contained in the union of the endpoints'
+    kNN sets (any object beating a candidate at the location beats it at
+    the nearer endpoint too), so two node-level type-3 queries plus exact
+    re-ranking suffice.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    location.validate(index)
+    candidates = set(knn_query(index, location.u, k))
+    candidates.update(knn_query(index, location.v, k))
+    ranked = sorted(
+        (
+            (distance_from_location(index, location, rank), rank)
+            for rank in candidates
+        ),
+    )
+    return [(rank, distance) for distance, rank in ranked[:k]]

@@ -1,0 +1,248 @@
+"""Category encoding: reverse zero padding and its Huffman benchmark.
+
+§5.2 observes that under an exponential partition "far more objects are in
+the latter categories" and devises *reverse zero padding*: the last
+category is the single bit ``1``, the second-to-last is ``01``, and in
+general category ``B_i`` is category ``B_{i+1}``'s code with a ``0``
+prefixed — a unary code whose short words go to the populous far
+categories.  Theorem 5.1 proves the scheme matches Huffman coding exactly
+when ``c > 3/2`` on the uniform grid; §5.2 estimates the resulting average
+code length as ``c² / (c² − 1)`` (≈ 1.2 bits at the optimal ``c = e``).
+
+This module implements the scheme, a generic Huffman coder to verify the
+theorem against, and bit-level writers/readers so whole signatures can be
+round-tripped through their on-disk representation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Sequence
+
+from repro.errors import EncodingError
+
+__all__ = [
+    "rzp_code",
+    "rzp_code_length",
+    "rzp_decode",
+    "huffman_code_lengths",
+    "average_code_length",
+    "grid_category_frequencies",
+    "BitWriter",
+    "BitReader",
+]
+
+
+def rzp_code(category: int, num_categories: int) -> str:
+    """The reverse-zero-padding codeword of ``category``, as a bit string.
+
+    With M categories: ``code(B_{M-1}) = "1"`` and ``code(B_i) = "0" +
+    code(B_{i+1})``, so ``code(B_i) = "0" * (M-1-i) + "1"``.  The
+    unreachable sentinel (category == M) takes the all-zeros word
+    ``"0" * M`` — the deepest leaf's sibling needs no terminating bit, the
+    standard unary truncation Huffman coding itself produces.  With the
+    sentinel as the rarest symbol this codebook is *exactly* the Huffman
+    code of the grid frequency profile whenever ``c > 3/2``
+    (Theorem 5.1).
+    """
+    _check_category(category, num_categories)
+    if category == num_categories:  # unreachable sentinel
+        return "0" * num_categories
+    return "0" * (num_categories - 1 - category) + "1"
+
+
+def rzp_code_length(category: int, num_categories: int) -> int:
+    """Length in bits of the reverse-zero-padding codeword of ``category``."""
+    _check_category(category, num_categories)
+    if category == num_categories:  # unreachable sentinel
+        return num_categories
+    return num_categories - category
+
+
+def rzp_decode(bits: str, num_categories: int, start: int = 0) -> tuple[int, int]:
+    """Decode one codeword from ``bits`` beginning at ``start``.
+
+    Returns ``(category, next_position)``.  Raises
+    :class:`~repro.errors.EncodingError` on truncated or invalid input.
+    """
+    zeros = 0
+    pos = start
+    while pos < len(bits) and bits[pos] == "0":
+        zeros += 1
+        pos += 1
+        if zeros == num_categories:
+            return num_categories, pos  # the all-zeros sentinel word
+    if pos >= len(bits):
+        raise EncodingError("truncated reverse-zero-padding codeword")
+    pos += 1  # consume the terminating '1'
+    return num_categories - 1 - zeros, pos
+
+
+def _check_category(category: int, num_categories: int) -> None:
+    if num_categories < 1:
+        raise EncodingError(f"need at least 1 category, got {num_categories}")
+    if not 0 <= category <= num_categories:
+        raise EncodingError(
+            f"category {category} out of range 0..{num_categories} "
+            f"(== num_categories means the unreachable sentinel)"
+        )
+
+
+def huffman_code_lengths(frequencies: Sequence[float]) -> list[int]:
+    """Optimal (Huffman) code length per symbol for the given frequencies.
+
+    Zero-frequency symbols still receive a code (they are merged first).
+    A single symbol gets length 1.  This is the yardstick Theorem 5.1
+    measures reverse zero padding against.
+    """
+    if not frequencies:
+        raise EncodingError("cannot build a Huffman code over zero symbols")
+    if any(f < 0 for f in frequencies):
+        raise EncodingError("frequencies must be non-negative")
+    if len(frequencies) == 1:
+        return [1]
+    counter = itertools.count()
+    # Heap items: (frequency, tiebreak, symbol_ids)
+    heap: list[tuple[float, int, list[int]]] = [
+        (float(f), next(counter), [i]) for i, f in enumerate(frequencies)
+    ]
+    heapq.heapify(heap)
+    lengths = [0] * len(frequencies)
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        merged = s1 + s2
+        for sym in merged:
+            lengths[sym] += 1
+        heapq.heappush(heap, (f1 + f2, next(counter), merged))
+    return lengths
+
+
+def average_code_length(
+    frequencies: Sequence[float], lengths: Sequence[int]
+) -> float:
+    """Frequency-weighted mean code length."""
+    if len(frequencies) != len(lengths):
+        raise EncodingError("frequencies and lengths must align")
+    total = sum(frequencies)
+    if total <= 0:
+        raise EncodingError("total frequency must be positive")
+    return sum(f * l for f, l in zip(frequencies, lengths)) / total
+
+
+def grid_category_frequencies(
+    c: float, first_boundary: float, num_categories: int, density: float = 1.0
+) -> list[float]:
+    """Expected object count per category on the §5.1 uniform grid.
+
+    On the grid, ``O(i) = p (2 i² + i)`` nodes lie within distance ``i``
+    (Fig 5.3), so category ``B_k = [c^{k-1} T, c^k T)`` holds
+    ``O(ub) − O(lb)`` objects.  The last category is truncated at the
+    partition's own coverage horizon (``c^{M-1} T``), mirroring the finite
+    sum in Equation 6.
+    """
+    if num_categories < 1:
+        raise EncodingError(f"need at least 1 category, got {num_categories}")
+
+    def objects_within(radius: float) -> float:
+        return density * (2 * radius * radius + radius)
+
+    freqs = []
+    lb = 0.0
+    ub = first_boundary
+    for _ in range(num_categories - 1):
+        freqs.append(objects_within(ub) - objects_within(lb))
+        lb, ub = ub, ub * c
+    freqs.append(objects_within(ub) - objects_within(lb))
+    return freqs
+
+
+class BitWriter:
+    """Accumulates bits and packs them into bytes (MSB first)."""
+
+    def __init__(self) -> None:
+        self._bits: list[str] = []
+        self._length = 0
+
+    def write_bits(self, bits: str) -> None:
+        """Append a bit string (characters '0'/'1')."""
+        if bits.strip("01"):
+            raise EncodingError(f"not a bit string: {bits!r}")
+        self._bits.append(bits)
+        self._length += len(bits)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as a fixed-width big-endian unsigned integer."""
+        if width < 0:
+            raise EncodingError(f"width must be >= 0, got {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise EncodingError(f"value {value} does not fit in {width} bits")
+        if width:
+            self.write_bits(format(value, f"0{width}b"))
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._length
+
+    def getvalue(self) -> bytes:
+        """The packed bytes, zero-padded to a byte boundary at the end."""
+        bits = "".join(self._bits)
+        padded = bits + "0" * (-len(bits) % 8)
+        return bytes(
+            int(padded[i : i + 8], 2) for i in range(0, len(padded), 8)
+        )
+
+    def bit_string(self) -> str:
+        """The raw (unpadded) bit string."""
+        return "".join(self._bits)
+
+
+class BitReader:
+    """Reads bits from bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        bits = "".join(format(byte, "08b") for byte in data)
+        if bit_length is not None:
+            if bit_length > len(bits):
+                raise EncodingError(
+                    f"declared bit length {bit_length} exceeds data "
+                    f"({len(bits)} bits)"
+                )
+            bits = bits[:bit_length]
+        self._bits = bits
+        self._pos = 0
+
+    def read_bit(self) -> str:
+        """Read one bit as '0' or '1'."""
+        if self._pos >= len(self._bits):
+            raise EncodingError("read past end of bit stream")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def read_uint(self, width: int) -> int:
+        """Read a fixed-width big-endian unsigned integer."""
+        if width == 0:
+            return 0
+        if self._pos + width > len(self._bits):
+            raise EncodingError("read past end of bit stream")
+        value = int(self._bits[self._pos : self._pos + width], 2)
+        self._pos += width
+        return value
+
+    def read_rzp(self, num_categories: int) -> int:
+        """Read one reverse-zero-padding codeword; return the category."""
+        category, self._pos = rzp_decode(self._bits, num_categories, self._pos)
+        return category
+
+    @property
+    def position(self) -> int:
+        """Current bit offset."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return len(self._bits) - self._pos

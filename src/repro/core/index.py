@@ -1,0 +1,598 @@
+"""The :class:`SignatureIndex` facade — the library's main entry point.
+
+One object ties together everything the paper describes: the category
+partition (§5.1), the signature table with backtracking links (§3.1), the
+in-memory object-to-object distance table (§3.2.2), the encoding and
+compression transforms (§5.2–5.3), the simulated CCAM-paged storage (§6.1),
+the query algorithms (§4), and — when built with ``keep_trees=True`` — the
+spanning trees and reverse edge index that power incremental updates
+(§5.4).
+
+Typical use::
+
+    network = random_planar_network(5_000, seed=7)
+    objects = uniform_dataset(network, density=0.01, seed=11)
+    index = SignatureIndex.build(network, objects)
+
+    index.knn(node=42, k=5)                      # type-3 kNN (Alg 6)
+    index.range_query(node=42, radius=150.0)     # Alg 5
+    index.distance(node=42, object_node=objects[0])   # Alg 1, exact
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import operations, queries, update
+from repro.core.builder import (
+    assemble_signature_data,
+    run_construction_sweep,
+)
+from repro.core.categories import (
+    CategoryPartition,
+    optimal_partition,
+    paper_evaluation_partition,
+)
+from repro.core.compression import (
+    CompressionStats,
+    compress_table,
+    resolve_component,
+)
+from repro.core.queries import KnnType
+from repro.core.signature import (
+    DistanceRange,
+    ObjectDistanceTable,
+    SignatureComponent,
+    SignatureTable,
+)
+from repro.core.spanning_tree import NO_PARENT, ObjectSpanningTrees
+from repro.errors import IndexError_, QueryError
+from repro.network.datasets import ObjectDataset
+from repro.network.graph import RoadNetwork
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.layout import adjacency_record_bits, build_node_file
+from repro.storage.pager import DEFAULT_PAGE_SIZE, PageAccessCounter
+
+__all__ = ["SignatureIndex", "IndexStorageReport"]
+
+_SIZE_KINDS = ("raw", "encoded", "compressed")
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStorageReport:
+    """On-disk and in-memory footprint of a signature index.
+
+    All `*_bits` figures are signature payload sizes under the three
+    §5.2/§5.3 representations; `signature_pages` reflects the
+    representation the index actually stores (:attr:`stored_kind`).
+    """
+
+    raw_bits: int
+    encoded_bits: int
+    compressed_bits: int
+    compressed_paper_bits: int
+    stored_kind: str
+    signature_pages: int
+    adjacency_pages: int
+    page_size: int
+    object_table_bytes: int
+
+    @property
+    def encoded_ratio(self) -> float:
+        """Encoded / raw size — Table 1 reports ≈ 0.74."""
+        return self.encoded_bits / self.raw_bits if self.raw_bits else 0.0
+
+    @property
+    def compressed_ratio(self) -> float:
+        """Compressed / encoded size for the self-delimiting flag layout."""
+        return (
+            self.compressed_bits / self.encoded_bits if self.encoded_bits else 0.0
+        )
+
+    @property
+    def compressed_paper_ratio(self) -> float:
+        """Compressed / encoded size under Table 1's accounting (0.75–0.90
+        in the paper)."""
+        return (
+            self.compressed_paper_bits / self.encoded_bits
+            if self.encoded_bits
+            else 0.0
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Index footprint: signature pages + adjacency pages."""
+        return (self.signature_pages + self.adjacency_pages) * self.page_size
+
+
+class SignatureIndex:
+    """A distance-signature index over one network and one object dataset.
+
+    Build with :meth:`build`; the constructor wires pre-assembled pieces
+    and is mostly useful to tests.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        dataset: ObjectDataset,
+        partition: CategoryPartition,
+        table: SignatureTable,
+        object_table: ObjectDistanceTable,
+        *,
+        trees: ObjectSpanningTrees | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        storage_strategy: str = "ccam",
+        storage_schema: str = "separate",
+        stored_kind: str = "compressed",
+        buffer_pool: LRUBufferPool | None = None,
+    ) -> None:
+        if stored_kind not in _SIZE_KINDS:
+            raise IndexError_(
+                f"stored_kind must be one of {_SIZE_KINDS}, got {stored_kind!r}"
+            )
+        self.network = network
+        self.dataset = dataset
+        self.partition = partition
+        self.table = table
+        self.object_table = object_table
+        self.trees = trees
+        self.page_size = page_size
+        self.storage_strategy = storage_strategy
+        self.storage_schema = storage_schema
+        self.stored_kind = stored_kind
+        self.counter = PageAccessCounter()
+        self.buffer_pool = buffer_pool
+        self.decompressions = 0
+        self._signature_dirty_nodes: set[int] = set()
+        self._build_storage()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        dataset: ObjectDataset,
+        partition: CategoryPartition | str | None = None,
+        *,
+        backend: str = "auto",
+        compress: bool = True,
+        drop_last_category_pairs: bool = True,
+        keep_trees: bool = False,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        storage_strategy: str = "ccam",
+        storage_schema: str = "separate",
+        buffer_pool: LRUBufferPool | None = None,
+    ) -> "SignatureIndex":
+        """Construct the index per §5.2 (+ §5.3 compression by default).
+
+        ``partition`` may be an explicit :class:`CategoryPartition`, or a
+        named policy derived from the construction sweep itself:
+
+        * ``None`` / ``"optimal"`` — the §5.1-optimal exponential
+          partition, with ``SP`` taken as the largest finite
+          node-to-object distance observed (the widest query the network
+          could pose);
+        * ``"paper"`` — the §6.1 evaluation configuration (``c = e``,
+          first boundary scaled so the spectrum is ~1000 boundaries deep,
+          the regime where the Table 1 encoding gains appear).
+
+        ``keep_trees`` retains the spanning trees and reverse edge index
+        needed for §5.4 incremental updates.
+        """
+        tree_distances, tree_parents = run_construction_sweep(
+            network, dataset, backend=backend
+        )
+        if partition is None or isinstance(partition, str):
+            finite = tree_distances[np.isfinite(tree_distances)]
+            max_distance = max(float(finite.max()) if finite.size else 1.0, 1.0)
+            if partition in (None, "optimal"):
+                partition = optimal_partition(max_distance)
+            elif partition == "paper":
+                partition = paper_evaluation_partition(max_distance)
+            else:
+                raise IndexError_(
+                    f"unknown partition policy {partition!r}; use 'optimal' "
+                    f"or 'paper'"
+                )
+        data = assemble_signature_data(
+            network, dataset, partition, tree_distances, tree_parents
+        )
+        table = SignatureTable(
+            partition,
+            data.categories,
+            data.links,
+            max_degree=max(network.max_degree(), 1),
+        )
+        object_table = ObjectDistanceTable(
+            data.object_distances,
+            partition,
+            drop_last_category=drop_last_category_pairs,
+        )
+        stats: CompressionStats | None = None
+        if compress:
+            stats = compress_table(table, object_table)
+        trees = None
+        if keep_trees:
+            trees = ObjectSpanningTrees(
+                dataset, data.tree_distances, data.tree_parents
+            )
+        index = cls(
+            network,
+            dataset,
+            partition,
+            table,
+            object_table,
+            trees=trees,
+            page_size=page_size,
+            storage_strategy=storage_strategy,
+            storage_schema=storage_schema,
+            stored_kind="compressed" if compress else "encoded",
+            buffer_pool=buffer_pool,
+        )
+        index.compression_stats = stats
+        return index
+
+    def _build_storage(self) -> None:
+        """(Re)place signature and adjacency records into paged files.
+
+        §3.1 describes two schemas: the signature "can either be merged
+        with the adjacency list, or stored separately".  ``storage_schema``
+        selects between them:
+
+        * ``"separate"`` (default) — two files; the adjacency list
+          carries "a link physically pointing to the signature" so the
+          signature stays "randomly accessible" (the figure 3.1 layout);
+        * ``"merged"`` — one record per node holding both, "preferable"
+          when "the signature is usually accessed together with the
+          adjacency list": a backtracking hop then touches a single
+          record.
+        """
+        sizer = {
+            "raw": self.table.raw_record_bits,
+            "encoded": self.table.encoded_record_bits,
+            "compressed": self.table.compressed_record_bits,
+        }[self.stored_kind]
+        if self.storage_schema == "merged":
+            merged = build_node_file(
+                self.network,
+                "merged",
+                lambda node: sizer(node)
+                + adjacency_record_bits(self.network.degree(node)),
+                counter=self.counter,
+                page_size=self.page_size,
+                spanning=True,
+                strategy=self.storage_strategy,
+                buffer_pool=self.buffer_pool,
+            )
+            self._signature_layout = merged
+            self._adjacency_layout = merged
+        elif self.storage_schema == "separate":
+            self._signature_layout = build_node_file(
+                self.network,
+                "signatures",
+                sizer,
+                counter=self.counter,
+                page_size=self.page_size,
+                spanning=True,
+                strategy=self.storage_strategy,
+                buffer_pool=self.buffer_pool,
+            )
+            self._adjacency_layout = build_node_file(
+                self.network,
+                "adjacency",
+                lambda node: adjacency_record_bits(self.network.degree(node)),
+                counter=self.counter,
+                page_size=self.page_size,
+                spanning=False,
+                strategy=self.storage_strategy,
+                buffer_pool=self.buffer_pool,
+            )
+        else:
+            raise IndexError_(
+                f"unknown storage schema {self.storage_schema!r}; use "
+                f"'separate' or 'merged'"
+            )
+        self._signature_dirty_nodes.clear()
+
+    def refresh_storage(self) -> None:
+        """Re-pack the paged files after incremental updates changed sizes."""
+        self._build_storage()
+
+    # ------------------------------------------------------------------
+    # SignatureIndexProtocol (I/O-charged primitives)
+    # ------------------------------------------------------------------
+    def component(self, node: int, rank: int) -> SignatureComponent:
+        """Logical component of object ``rank`` at ``node`` (CPU only)."""
+        if self.table.compressed[node, rank]:
+            self.decompressions += 1
+        return resolve_component(self.table, self.object_table, node, rank)
+
+    def touch_signature(self, node: int) -> None:
+        """Charge the pages of ``node``'s signature record."""
+        self._signature_layout.file.read(node)
+
+    def touch_adjacency(self, node: int) -> None:
+        """Charge the pages of ``node``'s adjacency record."""
+        self._adjacency_layout.file.read(node)
+
+    # ------------------------------------------------------------------
+    # distances (§3.2)
+    # ------------------------------------------------------------------
+    def rank_of(self, object_node: int) -> int:
+        """Dataset rank of the object living on ``object_node``."""
+        return self.dataset.rank(object_node)
+
+    def distance(self, node: int, object_node: int) -> float:
+        """Exact network distance from ``node`` to the object at
+        ``object_node`` (Algorithm 1)."""
+        return operations.retrieve_distance(self, node, self.rank_of(object_node))
+
+    def distance_range(
+        self, node: int, object_node: int, delta: tuple[float, float]
+    ) -> DistanceRange:
+        """Approximate retrieval (Algorithm 1 with ∆ = ``delta``)."""
+        lo, hi = delta
+        return operations.retrieve_distance_range(
+            self, node, self.rank_of(object_node), DistanceRange(lo, hi)
+        )
+
+    def compare(
+        self, node: int, object_a: int, object_b: int, *, exact: bool = True
+    ) -> int:
+        """Compare ``d(node, a)`` with ``d(node, b)`` (Algorithms 2/3).
+
+        Returns −1/0/1.  The approximate variant (``exact=False``) may
+        return 0 for "no decision".
+        """
+        rank_a, rank_b = self.rank_of(object_a), self.rank_of(object_b)
+        if exact:
+            return operations.compare_exact(self, node, rank_a, rank_b)
+        return operations.compare_approximate(self, node, rank_a, rank_b)
+
+    def sort_objects(self, node: int, object_nodes: list[int]) -> list[int]:
+        """The objects sorted by distance from ``node`` (Algorithm 4)."""
+        ranks = [self.rank_of(obj) for obj in object_nodes]
+        ordered = operations.sort_by_distance(self, node, ranks)
+        return [self.dataset[rank] for rank in ordered]
+
+    # ------------------------------------------------------------------
+    # queries (§4)
+    # ------------------------------------------------------------------
+    def range_query(
+        self, node: int, radius: float, *, with_distances: bool = False
+    ):
+        """Objects within ``radius`` of ``node`` (Algorithm 5), as nodes.
+
+        Returns object node ids — or ``(object_node, distance)`` pairs
+        with ``with_distances``.
+        """
+        result = queries.range_query(
+            self, node, radius, with_distances=with_distances
+        )
+        if with_distances:
+            return [(self.dataset[rank], d) for rank, d in result]
+        return [self.dataset[rank] for rank in result]
+
+    def knn(self, node: int, k: int, *, knn_type: KnnType = KnnType.SET):
+        """The k nearest objects to ``node`` (Algorithm 6), as nodes.
+
+        Type 1 returns ``(object_node, distance)`` pairs in ascending
+        order; types 2/3 return object node lists (ordered / unordered).
+        """
+        result = queries.knn_query(self, node, k, knn_type=knn_type)
+        if knn_type is KnnType.EXACT_DISTANCES:
+            return [(self.dataset[rank], d) for rank, d in result]
+        return [self.dataset[rank] for rank in result]
+
+    def knn_approximate(self, node: int, k: int) -> list[int]:
+        """Approximate kNN from the signature alone — one record of I/O.
+
+        Boundary-category ties are resolved by observer voting instead of
+        exact backtracking; see
+        :func:`repro.core.queries.approximate_knn_query`.
+        """
+        result = queries.approximate_knn_query(self, node, k)
+        return [self.dataset[rank] for rank in result]
+
+    def aggregate_range(
+        self, node: int, radius: float, aggregate: str = "count"
+    ) -> float:
+        """Aggregate over the objects within ``radius`` of ``node`` (§4.3)."""
+        return queries.aggregate_range(self, node, radius, aggregate)
+
+    def epsilon_join(
+        self, other: "SignatureIndex", epsilon: float
+    ) -> list[tuple[int, int]]:
+        """ε-join with another dataset's index on the same network (§4.3).
+
+        Returns ``(node_a, node_b)`` object-node pairs.
+        """
+        pairs = queries.epsilon_join(self, other, epsilon)
+        return [
+            (self.dataset[rank_a], other.dataset[rank_b])
+            for rank_a, rank_b in pairs
+        ]
+
+    def knn_join(
+        self, other: "SignatureIndex", k: int
+    ) -> list[tuple[int, list[int]]]:
+        """kNN-join with another dataset's index on the same network (§4.3).
+
+        Returns ``(node_a, [node_b, ...])`` pairs: each of this dataset's
+        objects with its k nearest objects of ``other``.
+        """
+        joined = queries.knn_join(self, other, k)
+        return [
+            (self.dataset[rank_a], [other.dataset[r] for r in ranks])
+            for rank_a, ranks in joined
+        ]
+
+    # ------------------------------------------------------------------
+    # updates (§5.4)
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> update.UpdateReport:
+        """Insert an edge and incrementally maintain the index (§5.4.1)."""
+        return update.add_edge(self, u, v, weight)
+
+    def remove_edge(self, u: int, v: int) -> update.UpdateReport:
+        """Remove an edge and incrementally maintain the index (§5.4.2)."""
+        return update.remove_edge(self, u, v)
+
+    def set_edge_weight(self, u: int, v: int, weight: float) -> update.UpdateReport:
+        """Re-weight an edge; dispatches to §5.4.1 or §5.4.2 as needed."""
+        return update.set_edge_weight(self, u, v, weight)
+
+    def add_node(
+        self, x: float, y: float, edges: list[tuple[int, float]]
+    ) -> tuple[int, update.UpdateReport]:
+        """Insert a node with incident edges (§5.4's reduction)."""
+        return update.add_node(self, x, y, edges)
+
+    def remove_node(self, node: int) -> update.UpdateReport:
+        """Remove a (non-object) node by deleting its edges (§5.4)."""
+        return update.remove_node(self, node)
+
+    def add_object(self, node: int) -> update.UpdateReport:
+        """Insert a new dataset object at ``node`` (one Dijkstra sweep)."""
+        return update.add_object(self, node)
+
+    def remove_object(self, node: int) -> update.UpdateReport:
+        """Remove the dataset object at ``node``."""
+        return update.remove_object(self, node)
+
+    def knn_at(self, location, k: int):
+        """kNN from a position on an edge (§1's on-segment decomposition).
+
+        ``location`` is a :class:`repro.core.edge_queries.EdgeLocation`;
+        returns ``(object_node, distance)`` pairs, ascending.
+        """
+        from repro.core.edge_queries import knn_at
+
+        return [
+            (self.dataset[rank], d) for rank, d in knn_at(self, location, k)
+        ]
+
+    def range_query_at(self, location, radius: float):
+        """Range query from a position on an edge; ``(node, distance)``."""
+        from repro.core.edge_queries import range_query_at
+
+        return [
+            (self.dataset[rank], d)
+            for rank, d in range_query_at(self, location, radius)
+        ]
+
+    def _grow_for_node(self, node: int) -> None:
+        """Extend every per-node / per-tree array for a freshly added node."""
+        if node != self.table.categories.shape[0]:
+            raise IndexError_(
+                f"new node id {node} does not extend the signature table "
+                f"(expected {self.table.categories.shape[0]})"
+            )
+        num_objects = self.table.categories.shape[1]
+        unreachable = self.partition.unreachable
+        self.table.categories = np.vstack(
+            [
+                self.table.categories,
+                np.full((1, num_objects), unreachable, dtype=self.table.categories.dtype),
+            ]
+        )
+        self.table.links = np.vstack(
+            [self.table.links, np.full((1, num_objects), -2, dtype=self.table.links.dtype)]
+        )
+        self.table.compressed = np.vstack(
+            [self.table.compressed, np.zeros((1, num_objects), dtype=bool)]
+        )
+        if self.table.bases is not None:
+            self.table.bases = np.vstack(
+                [self.table.bases, np.full((1, num_objects), -1, dtype=np.int32)]
+            )
+        if self.trees is not None:
+            self.trees.distances = np.hstack(
+                [self.trees.distances, np.full((len(self.dataset), 1), np.inf)]
+            )
+            self.trees.parents = np.hstack(
+                [
+                    self.trees.parents,
+                    np.full((len(self.dataset), 1), NO_PARENT, dtype=np.int32),
+                ]
+            )
+        self._signature_dirty_nodes.add(node)
+        # The fresh node has no storage record yet; re-pack so that queries
+        # touching it can be charged.
+        self.refresh_storage()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def storage_report(self) -> IndexStorageReport:
+        """Sizes under all three representations plus page footprints."""
+        return IndexStorageReport(
+            raw_bits=self.table.total_bits("raw"),
+            encoded_bits=self.table.total_bits("encoded"),
+            compressed_bits=self.table.total_bits("compressed"),
+            compressed_paper_bits=self.table.total_bits("compressed-paper"),
+            stored_kind=self.stored_kind,
+            signature_pages=self._signature_layout.file.num_pages,
+            adjacency_pages=(
+                0
+                if self._adjacency_layout is self._signature_layout
+                else self._adjacency_layout.file.num_pages
+            ),
+            page_size=self.page_size,
+            object_table_bytes=self.object_table.size_bytes(),
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the page-access counter and decompression tally."""
+        self.counter.reset()
+        self.decompressions = 0
+        if self.buffer_pool is not None:
+            self.buffer_pool.clear()
+
+    def verify(self, *, sample_nodes: int = 16, seed: int = 0) -> None:
+        """Self-check: signature distances agree with fresh Dijkstra runs.
+
+        Samples ``sample_nodes`` nodes and asserts the exact retrieval of
+        every object's distance matches ground truth.  Raises
+        :class:`~repro.errors.IndexError_` on mismatch.  Intended for
+        tests and post-update sanity checks, not hot paths.
+        """
+        from repro.network.dijkstra import shortest_path_tree
+
+        rng = np.random.default_rng(seed)
+        nodes = rng.choice(
+            self.network.num_nodes,
+            size=min(sample_nodes, self.network.num_nodes),
+            replace=False,
+        )
+        for rank, object_node in enumerate(self.dataset):
+            tree = shortest_path_tree(self.network, object_node)
+            for node in nodes:
+                node = int(node)
+                truth = tree.distance[node]
+                if math.isinf(truth):
+                    if self.component(node, rank).category != self.partition.unreachable:
+                        raise IndexError_(
+                            f"node {node} object {rank}: expected unreachable"
+                        )
+                    continue
+                got = operations.retrieve_distance(self, node, rank)
+                if got != truth:
+                    raise IndexError_(
+                        f"node {node} object {rank}: signature distance "
+                        f"{got} != Dijkstra {truth}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SignatureIndex(nodes={self.network.num_nodes}, "
+            f"objects={len(self.dataset)}, "
+            f"categories={self.partition.num_categories}, "
+            f"stored={self.stored_kind!r})"
+        )

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A road-network graph operation failed (bad node, edge, or weight)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node id does not exist in the network."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} does not exist in the network")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the network."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) does not exist in the network")
+        self.u = u
+        self.v = v
+
+
+class DisconnectedError(GraphError):
+    """A path was requested between nodes with no connecting path."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"no path between node {source!r} and node {target!r}")
+        self.source = source
+        self.target = target
+
+
+class DatasetError(ReproError):
+    """An object dataset is invalid for the requested operation."""
+
+
+class PartitionError(ReproError):
+    """A distance-category partition is malformed or cannot cover a value."""
+
+
+class EncodingError(ReproError):
+    """Signature encoding or decoding failed."""
+
+
+class StorageError(ReproError):
+    """The simulated page store rejected an operation."""
+
+
+class PageOverflowError(StorageError):
+    """A record larger than one page was stored without spanning enabled."""
+
+
+class IndexError_(ReproError):
+    """An index (signature, full, NVD) is inconsistent or not yet built.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """A query is malformed (e.g. negative range radius, k < 1)."""
+
+
+class UpdateError(ReproError):
+    """An incremental index update could not be applied."""

@@ -1,0 +1,86 @@
+"""Road-network substrate: graph model, search algorithms, and generators.
+
+This package is the foundation everything else builds on — the paper's
+"spatial network database" without any index:
+
+* :mod:`repro.network.graph` — the adjacency-list road network;
+* :mod:`repro.network.dijkstra` — Dijkstra variants (the paper's reference
+  algorithm for exact distances);
+* :mod:`repro.network.astar` — A* with a Euclidean heuristic (§2);
+* :mod:`repro.network.expansion` — incremental network expansion, the
+  index-free online baseline;
+* :mod:`repro.network.generators` — synthetic networks (random planar,
+  uniform grid, ring, star);
+* :mod:`repro.network.datasets` — object placement (uniform / clustered);
+* :mod:`repro.network.io` — text serialization.
+"""
+
+from repro.network.astar import astar_distance, astar_path, safe_heuristic_scale
+from repro.network.datasets import (
+    PAPER_DENSITIES,
+    ObjectDataset,
+    clustered_dataset,
+    uniform_dataset,
+)
+from repro.network.dijkstra import (
+    bidirectional_distance,
+    MultiSourceResult,
+    ShortestPathTree,
+    bounded_search,
+    multi_source_tree,
+    shortest_path,
+    shortest_path_distance,
+    shortest_path_tree,
+)
+from repro.network.expansion import (
+    ExpansionResult,
+    ine_aggregate,
+    ine_knn,
+    ine_range,
+)
+from repro.network.generators import (
+    grid_network,
+    manhattan_network,
+    random_planar_network,
+    ring_network,
+    star_network,
+)
+from repro.network.graph import Edge, RoadNetwork
+from repro.network.stats import NetworkStats, network_stats, sample_distance_stats
+from repro.network.io import load_dataset, load_network, save_dataset, save_network
+
+__all__ = [
+    "Edge",
+    "RoadNetwork",
+    "ShortestPathTree",
+    "MultiSourceResult",
+    "shortest_path_tree",
+    "bounded_search",
+    "multi_source_tree",
+    "shortest_path",
+    "shortest_path_distance",
+    "bidirectional_distance",
+    "astar_distance",
+    "astar_path",
+    "safe_heuristic_scale",
+    "ExpansionResult",
+    "ine_range",
+    "ine_knn",
+    "ine_aggregate",
+    "random_planar_network",
+    "grid_network",
+    "manhattan_network",
+    "ring_network",
+    "star_network",
+    "ObjectDataset",
+    "uniform_dataset",
+    "clustered_dataset",
+    "PAPER_DENSITIES",
+    "NetworkStats",
+    "network_stats",
+    "sample_distance_stats",
+    "save_network",
+    "load_network",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,213 @@
+"""Object dataset generation and representation.
+
+The dataset in an SNDB is "a set of objects (e.g., hospitals, restaurants)
+distributed on the road network" (§1); the paper restricts objects to nodes.
+§6.1 builds, per network, "four uniformly distributed datasets with density
+p (the ratio of the number of the objects to the number of the nodes) set to
+0.0005, 0.001, 0.01, and 0.05 ... and one non-uniform dataset that is
+composed of 100 clusters and p = 0.01".
+
+:class:`ObjectDataset` is an ordered, immutable set of object nodes.  The
+order is significant: a distance signature is a *sequence* of components,
+one per object, aligned across all nodes by this order (§3.1, Fig 3.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.network.graph import RoadNetwork
+
+__all__ = [
+    "ObjectDataset",
+    "uniform_dataset",
+    "clustered_dataset",
+    "PAPER_DENSITIES",
+]
+
+#: The densities the paper's evaluation sweeps over (§6.1).  The key
+#: ``"0.01(nu)"`` denotes the non-uniform, 100-cluster dataset.
+PAPER_DENSITIES: dict[str, float] = {
+    "0.0005": 0.0005,
+    "0.001": 0.001,
+    "0.01": 0.01,
+    "0.01(nu)": 0.01,
+    "0.05": 0.05,
+}
+
+
+class ObjectDataset:
+    """An ordered set of object nodes with O(1) membership and rank lookup.
+
+    ``dataset[i]`` is the node of the *i*-th object; ``dataset.rank(node)``
+    is the inverse.  Signatures index their components by this rank.
+    """
+
+    def __init__(self, object_nodes: Iterable[int]) -> None:
+        nodes = list(object_nodes)
+        if len(set(nodes)) != len(nodes):
+            raise DatasetError("dataset contains duplicate object nodes")
+        if any(n < 0 for n in nodes):
+            raise DatasetError("object node ids must be non-negative")
+        self._nodes: tuple[int, ...] = tuple(nodes)
+        self._rank: dict[int, int] = {n: i for i, n in enumerate(nodes)}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._nodes)
+
+    def __getitem__(self, index: int) -> int:
+        return self._nodes[index]
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._rank
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObjectDataset):
+            return NotImplemented
+        return self._nodes == other._nodes
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjectDataset(size={len(self._nodes)})"
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """The object nodes in dataset order."""
+        return self._nodes
+
+    def rank(self, node: int) -> int:
+        """The dataset position of object ``node`` (its signature index)."""
+        try:
+            return self._rank[node]
+        except KeyError:
+            raise DatasetError(f"node {node} is not an object") from None
+
+    def validate_against(self, network: RoadNetwork) -> None:
+        """Check that every object lies on an existing network node."""
+        for node in self._nodes:
+            if not 0 <= node < network.num_nodes:
+                raise DatasetError(
+                    f"object node {node} does not exist in the network "
+                    f"(num_nodes={network.num_nodes})"
+                )
+
+    def density(self, network: RoadNetwork) -> float:
+        """``p``: the ratio of objects to network nodes (§6.1)."""
+        if network.num_nodes == 0:
+            raise DatasetError("cannot compute density on an empty network")
+        return len(self._nodes) / network.num_nodes
+
+
+def uniform_dataset(
+    network: RoadNetwork, density: float, *, seed: int
+) -> ObjectDataset:
+    """Sample objects uniformly at random with the given density ``p``.
+
+    The number of objects is ``round(p * num_nodes)``, at least 1 so every
+    dataset is queryable.
+    """
+    _check_density(density)
+    rng = np.random.default_rng(seed)
+    count = max(1, round(density * network.num_nodes))
+    if count > network.num_nodes:
+        raise DatasetError(
+            f"density {density} asks for {count} objects but the network "
+            f"has only {network.num_nodes} nodes"
+        )
+    chosen = rng.choice(network.num_nodes, size=count, replace=False)
+    return ObjectDataset(int(n) for n in sorted(chosen))
+
+
+def clustered_dataset(
+    network: RoadNetwork,
+    density: float,
+    *,
+    seed: int,
+    num_clusters: int = 100,
+    spread: float = 0.02,
+) -> ObjectDataset:
+    """Sample a non-uniform, clustered dataset (the paper's "0.01(nu)").
+
+    ``num_clusters`` seed nodes are drawn uniformly; every object is then
+    attached to a random cluster and placed on the network node nearest to
+    a Gaussian perturbation of the cluster center (standard deviation
+    ``spread`` times the coordinate extent).  Collisions re-sample, so the
+    dataset has exactly ``round(p * num_nodes)`` distinct objects.
+    """
+    _check_density(density)
+    if num_clusters < 1:
+        raise DatasetError(f"num_clusters must be >= 1, got {num_clusters}")
+    rng = np.random.default_rng(seed)
+    count = max(1, round(density * network.num_nodes))
+    if count > network.num_nodes:
+        raise DatasetError(
+            f"density {density} asks for {count} objects but the network "
+            f"has only {network.num_nodes} nodes"
+        )
+    coords = np.array(
+        [network.coordinates(v) for v in range(network.num_nodes)]
+    )
+    extent = float(coords.max() - coords.min()) if len(coords) else 1.0
+    sigma = max(spread * extent, 1e-9)
+    centers = coords[
+        rng.choice(network.num_nodes, size=min(num_clusters, network.num_nodes),
+                   replace=False)
+    ]
+
+    # Bucket nodes on a coarse grid for nearest-node lookups.
+    cell = max(extent / max(1, int(np.sqrt(network.num_nodes))), 1e-9)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for idx, (x, y) in enumerate(coords):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(idx)
+
+    def nearest_node(x: float, y: float, taken: set[int]) -> int | None:
+        cx, cy = int(x / cell), int(y / cell)
+        for ring in range(0, 2 * int(extent / cell) + 3):
+            best: tuple[float, int] | None = None
+            for gx in range(cx - ring, cx + ring + 1):
+                for gy in range(cy - ring, cy + ring + 1):
+                    if max(abs(gx - cx), abs(gy - cy)) != ring:
+                        continue
+                    for j in buckets.get((gx, gy), ()):
+                        if j in taken:
+                            continue
+                        dx, dy = coords[j, 0] - x, coords[j, 1] - y
+                        d2 = float(dx * dx + dy * dy)
+                        if best is None or d2 < best[0]:
+                            best = (d2, j)
+            if best is not None:
+                return best[1]
+        return None
+
+    taken: set[int] = set()
+    objects: list[int] = []
+    attempts = 0
+    while len(objects) < count:
+        attempts += 1
+        if attempts > 50 * count + 1000:
+            raise DatasetError(
+                "clustered sampling failed to place all objects; "
+                "lower the density or raise the spread"
+            )
+        center = centers[rng.integers(len(centers))]
+        x = float(center[0] + rng.normal(0.0, sigma))
+        y = float(center[1] + rng.normal(0.0, sigma))
+        node = nearest_node(x, y, taken)
+        if node is None:
+            continue
+        taken.add(node)
+        objects.append(node)
+    return ObjectDataset(sorted(objects))
+
+
+def _check_density(density: float) -> None:
+    if not 0 < density <= 1:
+        raise DatasetError(f"density must be in (0, 1], got {density}")

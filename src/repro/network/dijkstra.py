@@ -1,0 +1,326 @@
+"""Single-source shortest-path search (Dijkstra's algorithm) variants.
+
+The paper leans on Dijkstra's algorithm [3] in three distinct roles, and
+this module provides one entry point per role:
+
+* :func:`shortest_path_tree` — the full single-source run used during
+  signature construction (§5.2 builds "the shortest path spanning tree for
+  every object o by the Dijkstra's algorithm");
+* :func:`bounded_search` — expansion truncated at a distance bound, the
+  engine behind online range queries via network expansion (INE, §2);
+* :func:`multi_source_tree` — simultaneous expansion from many sources,
+  which yields the Network Voronoi Diagram in a single sweep (each node is
+  claimed by its nearest object);
+* :func:`shortest_path_distance` / :func:`shortest_path` — point-to-point
+  queries with early termination, the online baseline the paper contrasts
+  the index against.
+
+All searches treat the network as undirected and assume positive weights,
+which :class:`~repro.network.graph.RoadNetwork` enforces on construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import DisconnectedError
+from repro.network.graph import RoadNetwork
+
+__all__ = [
+    "ShortestPathTree",
+    "MultiSourceResult",
+    "shortest_path_tree",
+    "bounded_search",
+    "multi_source_tree",
+    "shortest_path_distance",
+    "shortest_path",
+    "bidirectional_distance",
+]
+
+_UNREACHED = -1
+
+
+@dataclass(slots=True)
+class ShortestPathTree:
+    """The result of a (possibly bounded) single-source Dijkstra run.
+
+    Attributes
+    ----------
+    source:
+        The root of the tree.
+    distance:
+        ``distance[v]`` is the network distance from ``source`` to ``v``,
+        or ``math.inf`` if ``v`` was not reached (out of bound or
+        disconnected).
+    parent:
+        ``parent[v]`` is the predecessor of ``v`` on its shortest path from
+        ``source``; ``-1`` for the source itself and for unreached nodes.
+    settled:
+        Node ids in the order they were settled (popped with a final
+        distance).  The list is exactly the nodes with finite distance.
+    """
+
+    source: int
+    distance: list[float]
+    parent: list[int]
+    settled: list[int] = field(default_factory=list)
+
+    def reached(self, node: int) -> bool:
+        """Whether ``node`` received a finite distance."""
+        return self.parent[node] != _UNREACHED or node == self.source
+
+    def path_to(self, node: int) -> list[int]:
+        """The node sequence from ``source`` to ``node`` (inclusive)."""
+        if not self.reached(node):
+            raise DisconnectedError(self.source, node)
+        path = [node]
+        while path[-1] != self.source:
+            path.append(self.parent[path[-1]])
+        path.reverse()
+        return path
+
+    def first_hop(self, node: int) -> int:
+        """The first node after ``source`` on the path to ``node``.
+
+        For ``node == source`` the source itself is returned.  This is the
+        node a backtracking link points at — except that signatures store
+        the first hop of the *reverse* path (from the node toward the
+        object), which by symmetry of undirected shortest paths is the
+        parent of the node in the object's tree.
+        """
+        if node == self.source:
+            return node
+        path = self.path_to(node)
+        return path[1]
+
+
+@dataclass(slots=True)
+class MultiSourceResult:
+    """The result of a multi-source Dijkstra sweep.
+
+    Attributes
+    ----------
+    distance:
+        ``distance[v]`` is the distance from ``v`` to its *nearest* source.
+    owner:
+        ``owner[v]`` is the source that claimed ``v`` (its Voronoi cell
+        generator); ``-1`` if unreached.
+    parent:
+        Predecessor of ``v`` on the path from its owner; ``-1`` at sources
+        and unreached nodes.
+    """
+
+    distance: list[float]
+    owner: list[int]
+    parent: list[int]
+
+
+def _new_distance_array(n: int) -> list[float]:
+    return [float("inf")] * n
+
+
+def shortest_path_tree(network: RoadNetwork, source: int) -> ShortestPathTree:
+    """Run Dijkstra from ``source`` over the whole network.
+
+    Returns the complete shortest-path spanning tree rooted at ``source``.
+    Cost is ``O((V + E) log V)``; this is the construction-time primitive
+    (one run per object, §5.2).
+    """
+    return bounded_search(network, source, bound=float("inf"))
+
+
+def bounded_search(
+    network: RoadNetwork,
+    source: int,
+    bound: float,
+    *,
+    stop_nodes: Iterable[int] = (),
+) -> ShortestPathTree:
+    """Dijkstra from ``source``, never settling nodes farther than ``bound``.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    source:
+        Root node.
+    bound:
+        Inclusive distance bound; nodes with shortest distance strictly
+        greater than ``bound`` are left unreached.
+    stop_nodes:
+        Optional set of targets.  Once every stop node has been settled the
+        search terminates early, which implements point-to-point and
+        "k nearest of these" queries without paying for a full sweep.
+    """
+    network._check_node(source)
+    n = network.num_nodes
+    dist = _new_distance_array(n)
+    parent = [_UNREACHED] * n
+    settled_order: list[int] = []
+    remaining = set(stop_nodes)
+    for node in remaining:
+        network._check_node(node)
+
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled = [False] * n
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        if d > bound:
+            break
+        settled[u] = True
+        settled_order.append(u)
+        if remaining:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in network.neighbors(u):
+            nd = d + w
+            if nd < dist[v] and not settled[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+
+    # Nodes that were relaxed but never settled keep tentative distances;
+    # reset them so `distance` only reports *final* values.
+    for v in range(n):
+        if not settled[v] and dist[v] != float("inf"):
+            dist[v] = float("inf")
+            parent[v] = _UNREACHED
+    return ShortestPathTree(source, dist, parent, settled_order)
+
+
+def multi_source_tree(
+    network: RoadNetwork, sources: Iterable[int]
+) -> MultiSourceResult:
+    """Simultaneous Dijkstra from all ``sources``.
+
+    Every node is claimed by (assigned the distance/parent of) its nearest
+    source, with ties broken toward the source settled first, i.e. the one
+    with the smaller ``(distance, source id)`` pair.  This one sweep yields
+    the Network Voronoi Diagram's cell assignment (§2, VN³).
+    """
+    n = network.num_nodes
+    dist = _new_distance_array(n)
+    owner = [_UNREACHED] * n
+    parent = [_UNREACHED] * n
+    heap: list[tuple[float, int, int]] = []
+    source_list = list(sources)
+    for s in source_list:
+        network._check_node(s)
+    # Push with (distance, owner, node) so ties resolve deterministically
+    # by owner id.
+    for s in sorted(source_list):
+        if dist[s] > 0.0:
+            dist[s] = 0.0
+            owner[s] = s
+            heapq.heappush(heap, (0.0, s, s))
+
+    settled = [False] * n
+    while heap:
+        d, o, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        dist[u] = d
+        owner[u] = o
+        for v, w in network.neighbors(u):
+            nd = d + w
+            if not settled[v] and (
+                nd < dist[v] or (nd == dist[v] and o < owner[v])
+            ):
+                dist[v] = nd
+                owner[v] = o
+                parent[v] = u
+                heapq.heappush(heap, (nd, o, v))
+
+    for v in range(n):
+        if not settled[v]:
+            dist[v] = float("inf")
+            owner[v] = _UNREACHED
+            parent[v] = _UNREACHED
+    return MultiSourceResult(dist, owner, parent)
+
+
+def shortest_path_distance(network: RoadNetwork, source: int, target: int) -> float:
+    """The network distance between ``source`` and ``target``.
+
+    Raises :class:`~repro.errors.DisconnectedError` if no path exists.
+    """
+    if source == target:
+        return 0.0
+    tree = bounded_search(network, source, float("inf"), stop_nodes=(target,))
+    if not tree.reached(target):
+        raise DisconnectedError(source, target)
+    return tree.distance[target]
+
+
+def bidirectional_distance(
+    network: RoadNetwork, source: int, target: int
+) -> float:
+    """Point-to-point distance by bidirectional Dijkstra.
+
+    Expands alternately from both endpoints; on an undirected network the
+    search terminates when the sum of the two frontiers' settle radii
+    reaches the best meeting distance found — typically after settling
+    far fewer nodes than a one-sided search.  Exact; raises
+    :class:`~repro.errors.DisconnectedError` when no path exists.
+    """
+    if source == target:
+        return 0.0
+    network._check_node(source)
+    network._check_node(target)
+    n = network.num_nodes
+    dist = [
+        _new_distance_array(n),
+        _new_distance_array(n),
+    ]
+    settled = [[False] * n, [False] * n]
+    heaps: list[list[tuple[float, int]]] = [[(0.0, source)], [(0.0, target)]]
+    dist[0][source] = 0.0
+    dist[1][target] = 0.0
+    best = float("inf")
+    radii = [0.0, 0.0]
+    side = 0
+    while heaps[0] or heaps[1]:
+        if not heaps[side] or (
+            heaps[1 - side]
+            and heaps[1 - side][0][0] < heaps[side][0][0]
+        ):
+            side = 1 - side
+        d, u = heapq.heappop(heaps[side])
+        if settled[side][u]:
+            continue
+        settled[side][u] = True
+        radii[side] = d
+        if settled[1 - side][u]:
+            best = min(best, dist[0][u] + dist[1][u])
+        if radii[0] + radii[1] >= best:
+            return best
+        for v, w in network.neighbors(u):
+            nd = d + w
+            if nd < dist[side][v] and not settled[side][v]:
+                dist[side][v] = nd
+                heapq.heappush(heaps[side], (nd, v))
+            # A touched-but-unsettled meeting point also bounds the best.
+            if dist[1 - side][v] != float("inf"):
+                best = min(best, nd + dist[1 - side][v])
+    if best == float("inf"):
+        raise DisconnectedError(source, target)
+    return best
+
+
+def shortest_path(
+    network: RoadNetwork, source: int, target: int
+) -> tuple[float, list[int]]:
+    """The network distance and node path between ``source`` and ``target``."""
+    if source == target:
+        return 0.0, [source]
+    tree = bounded_search(network, source, float("inf"), stop_nodes=(target,))
+    if not tree.reached(target):
+        raise DisconnectedError(source, target)
+    return tree.distance[target], tree.path_to(target)

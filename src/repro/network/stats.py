@@ -1,0 +1,129 @@
+"""Descriptive statistics of networks and datasets (§6.1-style reporting).
+
+The paper characterizes its testbeds by node/edge counts, degree
+distribution, and object density; this module computes those figures (plus
+a sampled distance profile) for any network, powering the CLI's
+``network-info`` command and the experiment write-ups.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.network.datasets import ObjectDataset
+from repro.network.dijkstra import shortest_path_tree
+from repro.network.graph import RoadNetwork
+
+__all__ = ["NetworkStats", "network_stats", "sample_distance_stats"]
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Structural summary of one road network.
+
+    Attributes mirror the §6.1 testbed description: sizes, degree
+    distribution, weight range, and connectivity.
+    """
+
+    num_nodes: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+    degree_histogram: dict[int, int] = field(default_factory=dict)
+    min_weight: float = 0.0
+    max_weight: float = 0.0
+    mean_weight: float = 0.0
+    num_components: int = 0
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary."""
+        lines = [
+            f"nodes:        {self.num_nodes}",
+            f"edges:        {self.num_edges}",
+            f"mean degree:  {self.mean_degree:.2f}",
+            f"max degree:   {self.max_degree}",
+            f"weights:      {self.min_weight:g}..{self.max_weight:g} "
+            f"(mean {self.mean_weight:.2f})",
+            f"components:   {self.num_components}",
+        ]
+        histogram = ", ".join(
+            f"{degree}:{count}"
+            for degree, count in sorted(self.degree_histogram.items())
+        )
+        lines.append(f"degree histogram: {histogram}")
+        return "\n".join(lines)
+
+
+def _count_components(network: RoadNetwork) -> int:
+    seen = [False] * network.num_nodes
+    components = 0
+    for start in network.nodes():
+        if seen[start]:
+            continue
+        components += 1
+        stack = [start]
+        seen[start] = True
+        while stack:
+            u = stack.pop()
+            for v, _ in network.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+    return components
+
+
+def network_stats(network: RoadNetwork) -> NetworkStats:
+    """Compute the structural summary of ``network``."""
+    if network.num_nodes == 0:
+        raise GraphError("cannot summarize an empty network")
+    degrees = [network.degree(v) for v in network.nodes()]
+    weights = [edge.weight for edge in network.edges()]
+    return NetworkStats(
+        num_nodes=network.num_nodes,
+        num_edges=network.num_edges,
+        mean_degree=float(np.mean(degrees)),
+        max_degree=max(degrees),
+        degree_histogram=dict(Counter(degrees)),
+        min_weight=min(weights) if weights else 0.0,
+        max_weight=max(weights) if weights else 0.0,
+        mean_weight=float(np.mean(weights)) if weights else 0.0,
+        num_components=_count_components(network),
+    )
+
+
+def sample_distance_stats(
+    network: RoadNetwork,
+    dataset: ObjectDataset,
+    *,
+    sample_objects: int = 8,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Sampled node-to-object distance statistics.
+
+    Runs Dijkstra from up to ``sample_objects`` objects and summarizes
+    the finite distances — the quick profile a DBA needs to pick a
+    partition (see :mod:`repro.analysis.empirical` for the full
+    optimizer).
+    """
+    if len(dataset) == 0:
+        raise GraphError("dataset is empty")
+    rng = np.random.default_rng(seed)
+    count = min(sample_objects, len(dataset))
+    chosen = rng.choice(len(dataset), size=count, replace=False)
+    values = []
+    for rank in chosen:
+        tree = shortest_path_tree(network, dataset[int(rank)])
+        finite = [d for d in tree.distance if np.isfinite(d)]
+        values.extend(finite)
+    data = np.asarray(values)
+    return {
+        "count": float(len(data)),
+        "mean": float(data.mean()),
+        "median": float(np.median(data)),
+        "p90": float(np.percentile(data, 90)),
+        "max": float(data.max()),
+    }

@@ -1,0 +1,45 @@
+"""Simulated storage substrate: 4 KB pages, buffer pool, CCAM clustering.
+
+The paper evaluates every index by disk page accesses over CCAM-clustered
+4 KB pages (§6.1).  This package reproduces that storage stack in
+simulation: records are *placed* (sized and assigned to pages) rather than
+materialized, and every read is tallied by a
+:class:`~repro.storage.pager.PageAccessCounter`.
+"""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.ccam import ccam_order, hilbert_key
+from repro.storage.layout import (
+    DISTANCE_BYTES,
+    NODE_ID_BYTES,
+    NodeFileLayout,
+    adjacency_record_bits,
+    bits_for_values,
+    build_node_file,
+    fixed_signature_record_bits,
+    full_index_record_bits,
+)
+from repro.storage.pager import (
+    DEFAULT_PAGE_SIZE,
+    PageAccessCounter,
+    PagedFile,
+    RecordLocation,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "PageAccessCounter",
+    "PagedFile",
+    "RecordLocation",
+    "LRUBufferPool",
+    "ccam_order",
+    "hilbert_key",
+    "DISTANCE_BYTES",
+    "NODE_ID_BYTES",
+    "bits_for_values",
+    "adjacency_record_bits",
+    "full_index_record_bits",
+    "fixed_signature_record_bits",
+    "NodeFileLayout",
+    "build_node_file",
+]

@@ -1,0 +1,124 @@
+"""Record layouts and size accounting for the simulated store.
+
+§3.1 sizes a node's signature as ``sum(|s[i]| + |s[i].link|)`` bits over the
+dataset, with ``|s[i]| = ceil(log2 M)`` for M categories under fixed-length
+encoding and ``|s[i].link| = ceil(log2 R)`` for maximum degree R; §6.1 adds
+that the full index spends "4 bytes (an integer) ... for each object".
+This module centralizes those size formulas and the packing of per-node
+records into CCAM-ordered paged files, so every index's on-disk footprint
+is computed by one code path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.network.graph import RoadNetwork
+from repro.storage.ccam import ccam_order
+from repro.storage.pager import (
+    DEFAULT_PAGE_SIZE,
+    PageAccessCounter,
+    PagedFile,
+)
+
+__all__ = [
+    "DISTANCE_BYTES",
+    "NODE_ID_BYTES",
+    "bits_for_values",
+    "adjacency_record_bits",
+    "full_index_record_bits",
+    "fixed_signature_record_bits",
+    "NodeFileLayout",
+    "build_node_file",
+]
+
+#: Bytes per stored exact distance (§6.1: "4 bytes (an integer)").
+DISTANCE_BYTES = 4
+
+#: Bytes per stored node id (same word size as a distance).
+NODE_ID_BYTES = 4
+
+
+def bits_for_values(count: int) -> int:
+    """Bits needed to address ``count`` distinct values (0 for count <= 1)."""
+    if count <= 1:
+        return 0
+    return math.ceil(math.log2(count))
+
+
+def adjacency_record_bits(degree: int) -> int:
+    """On-disk bits of one adjacency list entry block.
+
+    Each entry stores a 4-byte neighbor id and a 4-byte weight, plus a
+    2-byte entry count header — the conventional adjacency-list record the
+    paper stores via CCAM.
+    """
+    return 16 + degree * (NODE_ID_BYTES + DISTANCE_BYTES) * 8
+
+
+def full_index_record_bits(num_objects: int) -> int:
+    """On-disk bits of one full-index record: 4 bytes per object distance."""
+    return num_objects * DISTANCE_BYTES * 8
+
+
+def fixed_signature_record_bits(
+    num_objects: int, num_categories: int, max_degree: int
+) -> int:
+    """Raw (fixed-length) signature size: ``(log M + log R) * |D|`` bits (§5.2)."""
+    return num_objects * (
+        bits_for_values(num_categories) + bits_for_values(max_degree)
+    )
+
+
+@dataclass(slots=True)
+class NodeFileLayout:
+    """A per-node record file plus the order its records were placed in.
+
+    Attributes
+    ----------
+    file:
+        The :class:`~repro.storage.pager.PagedFile` holding one record per
+        node, keyed by node id.
+    order:
+        The CCAM placement order used (``order[i]`` is the i-th node laid
+        down).
+    """
+
+    file: PagedFile
+    order: list[int]
+
+
+def build_node_file(
+    network: RoadNetwork,
+    name: str,
+    record_bits: Callable[[int], int] | Sequence[int],
+    *,
+    counter: PageAccessCounter,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    spanning: bool = True,
+    strategy: str = "ccam",
+    buffer_pool=None,
+) -> NodeFileLayout:
+    """Pack one record per network node into a paged file in CCAM order.
+
+    ``record_bits`` is either a callable mapping node id → record size in
+    bits, or a sequence indexed by node id.  The returned layout's file is
+    keyed by node id, so readers never need to know the placement order.
+    """
+    order = ccam_order(network, strategy=strategy)
+    file = PagedFile(
+        name,
+        page_size=page_size,
+        spanning=spanning,
+        counter=counter,
+        buffer_pool=buffer_pool,
+    )
+    if callable(record_bits):
+        sizes = {node: record_bits(node) for node in order}
+    else:
+        sizes = {node: record_bits[node] for node in order}
+    for node in order:
+        file.append_record(node, sizes[node])
+    return NodeFileLayout(file=file, order=order)

@@ -1,0 +1,35 @@
+"""Workload generation and the experiment harness (§6's methodology)."""
+
+from repro.workloads.harness import (
+    Measurement,
+    format_table,
+    make_query_nodes,
+    measure_queries,
+)
+from repro.workloads.queries import (
+    QUERY_KINDS,
+    QuerySpec,
+    execute_query,
+    make_mixed_workload,
+)
+from repro.workloads.suite import (
+    DEFAULT_NUM_NODES,
+    ExperimentSuite,
+    build_experiment_suite,
+    dataset_for,
+)
+
+__all__ = [
+    "QuerySpec",
+    "QUERY_KINDS",
+    "execute_query",
+    "make_mixed_workload",
+    "Measurement",
+    "format_table",
+    "make_query_nodes",
+    "measure_queries",
+    "ExperimentSuite",
+    "build_experiment_suite",
+    "dataset_for",
+    "DEFAULT_NUM_NODES",
+]

@@ -1,0 +1,59 @@
+"""A* search: exactness under admissible heuristics."""
+
+import math
+
+import pytest
+
+from repro.errors import DisconnectedError
+from repro.network.astar import astar_distance, astar_path, safe_heuristic_scale
+from repro.network.dijkstra import shortest_path_distance
+from repro.network.graph import RoadNetwork
+
+
+class TestSafeScale:
+    def test_scale_is_admissible_on_every_edge(self, small_net):
+        scale = safe_heuristic_scale(small_net)
+        for edge in small_net.edges():
+            euclid = small_net.euclidean_distance(edge.u, edge.v)
+            assert scale * euclid <= edge.weight + 1e-9
+
+    def test_unit_grid_scale_is_one(self, grid5):
+        # Grid edges have weight 1 and Euclidean length 1.
+        assert math.isclose(safe_heuristic_scale(grid5), 1.0)
+
+    def test_empty_network_scale_zero(self):
+        assert safe_heuristic_scale(RoadNetwork([(0, 0)])) == 0.0
+
+
+class TestAStar:
+    def test_matches_dijkstra_with_safe_scale(self, small_net):
+        scale = safe_heuristic_scale(small_net)
+        for source, target in [(0, 299), (10, 200), (5, 6)]:
+            expected = shortest_path_distance(small_net, source, target)
+            assert astar_distance(
+                small_net, source, target, heuristic_scale=scale
+            ) == expected
+
+    def test_matches_dijkstra_on_grid_with_full_heuristic(self, grid5):
+        for source, target in [(0, 24), (3, 21), (12, 12)]:
+            expected = shortest_path_distance(grid5, source, target)
+            assert astar_distance(grid5, source, target) == expected
+
+    def test_zero_scale_degrades_to_dijkstra(self, small_net):
+        expected = shortest_path_distance(small_net, 1, 250)
+        assert astar_distance(small_net, 1, 250, heuristic_scale=0.0) == expected
+
+    def test_path_is_consistent_with_distance(self, grid5):
+        distance, path = astar_path(grid5, 0, 24)
+        assert path[0] == 0 and path[-1] == 24
+        total = sum(grid5.edge_weight(a, b) for a, b in zip(path, path[1:]))
+        assert total == distance
+
+    def test_same_node(self, grid5):
+        assert astar_distance(grid5, 7, 7) == 0.0
+        assert astar_path(grid5, 7, 7) == (0.0, [7])
+
+    def test_disconnected_raises(self):
+        net = RoadNetwork([(0, 0), (9, 9)])
+        with pytest.raises(DisconnectedError):
+            astar_distance(net, 0, 1)

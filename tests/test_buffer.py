@@ -1,0 +1,60 @@
+"""LRU buffer pool behavior."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import LRUBufferPool
+
+
+class TestLRU:
+    def test_first_access_misses_then_hits(self):
+        pool = LRUBufferPool(2)
+        assert pool.access("a") is False
+        assert pool.access("a") is True
+
+    def test_eviction_order_is_least_recent(self):
+        pool = LRUBufferPool(2)
+        pool.access("a")
+        pool.access("b")
+        pool.access("a")  # refresh a; b is now LRU
+        pool.access("c")  # evicts b
+        assert "b" not in pool
+        assert "a" in pool and "c" in pool
+        assert pool.evictions == 1
+
+    def test_zero_capacity_never_caches(self):
+        pool = LRUBufferPool(0)
+        assert pool.access("a") is False
+        assert pool.access("a") is False
+        assert len(pool) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            LRUBufferPool(-1)
+
+    def test_statistics(self):
+        pool = LRUBufferPool(4)
+        pool.access("a")
+        pool.access("a")
+        pool.access("b")
+        assert pool.hits == 1
+        assert pool.misses == 2
+        assert pool.hit_rate == pytest.approx(1 / 3)
+
+    def test_hit_rate_zero_when_untouched(self):
+        assert LRUBufferPool(4).hit_rate == 0.0
+
+    def test_clear_resets_everything(self):
+        pool = LRUBufferPool(4)
+        pool.access("a")
+        pool.access("a")
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.hits == 0 and pool.misses == 0
+        assert pool.access("a") is False
+
+    def test_len_bounded_by_capacity(self):
+        pool = LRUBufferPool(3)
+        for key in "abcdefg":
+            pool.access(key)
+        assert len(pool) == 3

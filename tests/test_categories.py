@@ -1,0 +1,181 @@
+"""Category partitions (§3.1, §5.1) — unit and property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categories import (
+    CategoryPartition,
+    ExponentialPartition,
+    optimal_exponent,
+    optimal_first_boundary,
+    optimal_partition,
+)
+from repro.errors import PartitionError
+
+
+class TestCategoryPartition:
+    def test_paper_example(self):
+        """§3.1's example: 0–100, 100–400, 400–900, beyond 900 meters."""
+        part = CategoryPartition([100, 400, 900])
+        assert part.num_categories == 4
+        assert part.categorize(75) == 0
+        assert part.categorize(475) == 2
+        assert part.categorize(5000) == 3
+
+    def test_boundaries_belong_to_upper_category(self):
+        part = CategoryPartition([10, 20])
+        assert part.categorize(10) == 1
+        assert part.categorize(20) == 2
+
+    def test_zero_distance_is_category_zero(self):
+        assert CategoryPartition([5]).categorize(0) == 0
+
+    def test_single_category(self):
+        part = CategoryPartition([])
+        assert part.num_categories == 1
+        assert part.categorize(1e9) == 0
+        assert part.bounds(0) == (0.0, math.inf)
+
+    def test_bounds_cover_spectrum(self):
+        part = CategoryPartition([3, 9, 27])
+        assert part.bounds(0) == (0.0, 3.0)
+        assert part.bounds(1) == (3.0, 9.0)
+        assert part.bounds(2) == (9.0, 27.0)
+        assert part.bounds(3) == (27.0, math.inf)
+
+    def test_unreachable_sentinel(self):
+        part = CategoryPartition([5])
+        assert part.unreachable == 2
+        assert part.categorize(math.inf) == 2
+        assert part.lower_bound(part.unreachable) == math.inf
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryPartition([5]).categorize(-1)
+
+    def test_category_out_of_range_rejected(self):
+        part = CategoryPartition([5])
+        with pytest.raises(PartitionError):
+            part.lower_bound(3)
+        with pytest.raises(PartitionError):
+            part.upper_bound(-1)
+
+    def test_nonincreasing_boundaries_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryPartition([5, 5])
+        with pytest.raises(PartitionError):
+            CategoryPartition([5, 3])
+
+    def test_nonpositive_boundary_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryPartition([0])
+
+    def test_equality_and_hash(self):
+        assert CategoryPartition([1, 2]) == CategoryPartition([1, 2])
+        assert CategoryPartition([1, 2]) != CategoryPartition([1, 3])
+        assert hash(CategoryPartition([1, 2])) == hash(CategoryPartition([1, 2]))
+
+    @given(
+        boundaries=st.lists(
+            st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=12
+        ),
+        distance=st.floats(min_value=0, max_value=2e6),
+    )
+    def test_categorize_respects_bounds_property(self, boundaries, distance):
+        unique = sorted(set(boundaries))
+        part = CategoryPartition(unique)
+        category = part.categorize(distance)
+        lb, ub = part.bounds(category)
+        assert lb <= distance < ub or (distance == lb and math.isinf(ub))
+
+    @given(
+        boundaries=st.lists(
+            st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=12
+        )
+    )
+    def test_categories_are_monotone_property(self, boundaries):
+        unique = sorted(set(boundaries))
+        part = CategoryPartition(unique)
+        samples = [0.0]
+        for b in unique:
+            samples.extend([b * 0.999, b, b * 1.001])
+        cats = [part.categorize(s) for s in sorted(samples)]
+        assert cats == sorted(cats)
+
+
+class TestExponentialPartition:
+    def test_boundaries_grow_by_c(self):
+        part = ExponentialPartition(3.0, 2.0, 50.0)
+        assert part.boundaries == (2.0, 6.0, 18.0, 54.0)
+
+    def test_covers_max_distance_with_bounded_category(self):
+        part = ExponentialPartition(2.0, 1.0, 10.0)
+        # max_distance 10 must fall below the last finite boundary.
+        assert part.boundaries[-1] > 10.0
+        assert part.categorize(10.0) < part.num_categories - 1 or (
+            part.lower_bound(part.categorize(10.0)) <= 10.0
+        )
+
+    def test_small_max_distance_single_boundary(self):
+        part = ExponentialPartition(2.0, 5.0, 0.0)
+        assert part.boundaries == (5.0,)
+
+    def test_rejects_c_at_most_one(self):
+        with pytest.raises(PartitionError):
+            ExponentialPartition(1.0, 1.0, 10.0)
+
+    def test_rejects_nonpositive_t(self):
+        with pytest.raises(PartitionError):
+            ExponentialPartition(2.0, 0.0, 10.0)
+
+    def test_rejects_negative_max_distance(self):
+        with pytest.raises(PartitionError):
+            ExponentialPartition(2.0, 1.0, -1.0)
+
+    @given(
+        c=st.floats(min_value=1.5, max_value=6.0),
+        t=st.floats(min_value=0.5, max_value=100.0),
+        factor=st.floats(min_value=1.0, max_value=1e4),
+    )
+    @settings(max_examples=60)
+    def test_every_distance_in_coverage_categorizable(self, c, t, factor):
+        max_distance = t * factor
+        part = ExponentialPartition(c, t, max_distance)
+        category = part.categorize(max_distance)
+        lb, ub = part.bounds(category)
+        assert lb <= max_distance < ub
+
+
+class TestOptimalParameters:
+    def test_optimal_exponent_is_e(self):
+        assert optimal_exponent() == math.e
+
+    def test_optimal_first_boundary_formula(self):
+        """§5.1: T = sqrt(SP / e)."""
+        sp = 10_000.0
+        assert optimal_first_boundary(sp) == pytest.approx(math.sqrt(sp / math.e))
+
+    def test_fig_6_7_trend_best_t_decreases_with_c(self):
+        """Fig 6.7 third observation: as c increases, the best T decreases."""
+        sp = 10_000.0
+        ts = [optimal_first_boundary(sp, c) for c in (2.0, 3.0, 4.0, 5.0, 6.0)]
+        assert ts == sorted(ts, reverse=True)
+
+    def test_optimal_partition_uses_both(self):
+        part = optimal_partition(1000.0)
+        assert part.c == math.e
+        assert part.first_boundary == pytest.approx(math.sqrt(1000.0 / math.e))
+        assert part.boundaries[-1] > 1000.0
+
+    def test_optimal_partition_custom_max_distance(self):
+        part = optimal_partition(100.0, max_distance=10_000.0)
+        assert part.boundaries[-1] > 10_000.0
+
+    def test_rejects_nonpositive_spreading(self):
+        with pytest.raises(PartitionError):
+            optimal_first_boundary(0.0)
+        with pytest.raises(PartitionError):
+            optimal_partition(-5.0)

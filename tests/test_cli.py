@@ -1,0 +1,134 @@
+"""The command-line interface, end to end on temp directories."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    """A generated network + dataset + built index on disk."""
+    net = tmp_path / "net.txt"
+    ds = tmp_path / "objects.txt"
+    idx = tmp_path / "index"
+    assert main(["generate-network", str(net), "--nodes", "250", "--seed", "3"]) == 0
+    assert main([
+        "generate-dataset", str(net), str(ds), "--density", "0.04", "--seed", "5",
+    ]) == 0
+    assert main(["build", str(net), str(ds), str(idx)]) == 0
+    return net, ds, idx
+
+
+class TestGeneration:
+    def test_generate_network_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "n.txt"
+        assert main(["generate-network", str(out), "--nodes", "100"]) == 0
+        assert out.exists()
+        assert "100 nodes" in capsys.readouterr().out
+
+    def test_generate_clustered_dataset(self, tmp_path, capsys):
+        net = tmp_path / "n.txt"
+        ds = tmp_path / "d.txt"
+        main(["generate-network", str(net), "--nodes", "200", "--seed", "1"])
+        assert main([
+            "generate-dataset", str(net), str(ds),
+            "--density", "0.05", "--clusters", "3",
+        ]) == 0
+        assert ds.exists()
+
+
+class TestBuildAndInfo:
+    def test_build_reports_summary(self, workspace, capsys):
+        # workspace fixture already built; rebuild into a new dir to
+        # capture the output of this invocation.
+        net, ds, idx = workspace
+        out = capsys.readouterr()  # drain fixture output
+        assert main(["build", str(net), str(ds), str(idx) + "2"]) == 0
+        text = capsys.readouterr().out
+        assert "categories" in text and "encoding ratio" in text
+
+    def test_build_paper_partition(self, workspace, capsys):
+        net, ds, idx = workspace
+        assert main([
+            "build", str(net), str(ds), str(idx) + "p", "--partition", "paper",
+        ]) == 0
+
+    def test_build_uncompressed(self, workspace, capsys):
+        net, ds, idx = workspace
+        assert main([
+            "build", str(net), str(ds), str(idx) + "u", "--no-compress",
+        ]) == 0
+        assert main(["info", str(idx) + "u"]) == 0
+        assert "encoded" in capsys.readouterr().out
+
+    def test_info_lists_stats(self, workspace, capsys):
+        _, _, idx = workspace
+        assert main(["info", str(idx)]) == 0
+        text = capsys.readouterr().out
+        assert "nodes:" in text
+        assert "objects:" in text
+        assert "signature pages:" in text
+
+
+class TestQueries:
+    def test_knn_prints_pairs(self, workspace, capsys):
+        _, _, idx = workspace
+        assert main([
+            "query", str(idx), "knn", "--node", "0", "--k", "3",
+        ]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        for line in out:
+            obj, dist = line.split("\t")
+            assert int(obj) >= 0 and float(dist) >= 0
+
+    def test_range_prints_pairs(self, workspace, capsys):
+        _, _, idx = workspace
+        assert main([
+            "query", str(idx), "range", "--node", "0", "--radius", "1000",
+        ]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) >= 1
+
+    def test_distance_prints_value(self, workspace, capsys):
+        net, ds, idx = workspace
+        from repro.network.io import load_dataset
+
+        objects = load_dataset(ds)
+        assert main([
+            "query", str(idx), "distance",
+            "--node", "0", "--object", str(objects[0]),
+        ]) == 0
+        value = float(capsys.readouterr().out.strip())
+        assert value >= 0
+
+    def test_cli_answers_match_library(self, workspace, capsys):
+        net, ds, idx = workspace
+        from repro.core import KnnType
+        from repro.core.persistence import load_index
+
+        index = load_index(idx)
+        expected = index.knn(0, 2, knn_type=KnnType.EXACT_DISTANCES)
+        capsys.readouterr()
+        main(["query", str(idx), "knn", "--node", "0", "--k", "2"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        got = [(int(a), float(b)) for a, b in (l.split("\t") for l in lines)]
+        assert got == expected
+
+
+class TestErrors:
+    def test_library_errors_become_exit_code_1(self, workspace, capsys):
+        _, _, idx = workspace
+        # k = 0 raises QueryError inside the library.
+        assert main([
+            "query", str(idx), "knn", "--node", "0", "--k", "0",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_network_file(self, tmp_path, capsys):
+        code = main([
+            "generate-dataset", str(tmp_path / "nope.txt"),
+            str(tmp_path / "d.txt"),
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,167 @@
+"""Signature compression (§5.3): Definition 5.1 and lossless recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.categories import CategoryPartition, ExponentialPartition
+from repro.core.compression import (
+    compress_node,
+    compress_table,
+    resolve_category,
+    resolve_component,
+    signature_summation,
+)
+from repro.core.signature import ObjectDistanceTable, SignatureTable
+from repro.errors import IndexError_
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return CategoryPartition([2, 4, 8, 16])  # 5 categories, unreachable = 5
+
+
+class TestSummation:
+    def test_unequal_takes_max(self, partition):
+        """Def 5.1: 'the larger of the two, because it is the dominant
+        distance in the summation'."""
+        assert signature_summation(partition, 1, 3) == 3
+        assert signature_summation(partition, 3, 1) == 3
+
+    def test_equal_increments(self, partition):
+        assert signature_summation(partition, 2, 2) == 3
+
+    def test_equal_at_last_category_clamps(self, partition):
+        last = partition.num_categories - 1
+        assert signature_summation(partition, last, last) == last
+
+    def test_unreachable_absorbs(self, partition):
+        u = partition.unreachable
+        assert signature_summation(partition, u, 2) == u
+        assert signature_summation(partition, 2, u) == u
+
+
+def _built(small_net, small_objs, partition, drop=True):
+    from repro.core.builder import build_raw_signature_data
+
+    data = build_raw_signature_data(small_net, small_objs, partition)
+    table = SignatureTable(
+        partition, data.categories, data.links, max_degree=small_net.max_degree()
+    )
+    object_table = ObjectDistanceTable(
+        data.object_distances, partition, drop_last_category=drop
+    )
+    return table, object_table
+
+
+@pytest.fixture(scope="module")
+def built(small_net, small_objs):
+    partition = ExponentialPartition(2.0, 4.0, 300.0)
+    table, object_table = _built(small_net, small_objs, partition)
+    stats = compress_table(table, object_table)
+    return table, object_table, stats
+
+
+class TestCompressTable:
+    def test_lossless_recovery(self, built):
+        """Every component — flagged or not — resolves to its original."""
+        table, object_table, _ = built
+        original = table.categories.copy()
+        for node in range(table.num_nodes):
+            for rank in range(table.num_objects):
+                assert (
+                    resolve_category(table, object_table, node, rank)
+                    == original[node, rank]
+                )
+
+    def test_some_components_compress(self, built):
+        _, _, stats = built
+        assert stats.compressed_components > 0
+        assert 0 < stats.compressed_fraction < 1
+
+    def test_flags_shrink_storage(self, built):
+        table, _, _ = built
+        assert table.total_bits("compressed") < table.total_bits("encoded") + (
+            table.num_nodes * table.num_objects  # flag overhead budget
+        )
+
+    def test_bases_are_never_compressed(self, built):
+        table, _, _ = built
+        flagged = np.argwhere(table.compressed)
+        for node, rank in flagged:
+            base = table.bases[node, rank]
+            assert base >= 0
+            assert not table.compressed[node, base]
+
+    def test_bases_share_the_link(self, built):
+        table, _, _ = built
+        flagged = np.argwhere(table.compressed)
+        for node, rank in flagged:
+            base = table.bases[node, rank]
+            assert table.links[node, base] == table.links[node, rank]
+
+    def test_summation_reconstructs_flagged_value(self, built):
+        """The flag is set only when Def 5.1 already equals the stored
+        category — the invariant that makes decompression exact."""
+        table, object_table, _ = built
+        flagged = np.argwhere(table.compressed)
+        for node, rank in flagged[:200]:
+            base = int(table.bases[node, rank])
+            summed = signature_summation(
+                table.partition,
+                int(table.categories[node, base]),
+                object_table.category(base, int(rank)),
+            )
+            assert summed == int(table.categories[node, rank])
+
+    def test_resolve_component_returns_link_too(self, built):
+        table, object_table, _ = built
+        comp = resolve_component(table, object_table, 0, 0)
+        assert comp.link == int(table.links[0, 0])
+
+    def test_mismatched_object_table_rejected(self, built, partition):
+        table, _, _ = built
+        tiny = ObjectDistanceTable(np.zeros((2, 2)), partition)
+        with pytest.raises(IndexError_):
+            compress_table(table, tiny)
+
+
+class TestCompressNode:
+    def test_recompression_is_idempotent(self, built):
+        table, object_table, _ = built
+        before_flags = table.compressed.copy()
+        before_bases = table.bases.copy()
+        matrix = object_table.category_matrix()
+        for node in range(0, table.num_nodes, 17):
+            compress_node(table, matrix, node)
+        assert np.array_equal(table.compressed, before_flags)
+        assert np.array_equal(table.bases, before_bases)
+
+    def test_single_object_never_compresses(
+        self, small_net, single_object_dataset
+    ):
+        partition = ExponentialPartition(2.0, 4.0, 300.0)
+        table, object_table = _built(
+            small_net, single_object_dataset, partition
+        )
+        stats = compress_table(table, object_table)
+        assert stats.compressed_components == 0
+
+    def test_dropped_pairs_still_compress_remote_objects(
+        self, small_net, small_objs
+    ):
+        """Dropping a pair keeps its category (the last one), so remote
+        objects — the very targets of §5.3 — stay compressible."""
+        partition = CategoryPartition([0.5])  # everything in last category
+        table, object_table = _built(small_net, small_objs, partition)
+        assert object_table.dropped_pairs > 0
+        stats = compress_table(table, object_table)
+        # With every object in the catch-all category, every non-base
+        # component sums to itself and compresses.
+        assert stats.compressed_fraction > 0.5
+        # ... and recovery stays lossless.
+        for node in range(0, table.num_nodes, 29):
+            for rank in range(table.num_objects):
+                assert (
+                    resolve_category(table, object_table, node, rank)
+                    == int(table.categories[node, rank])
+                )

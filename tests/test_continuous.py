@@ -1,0 +1,203 @@
+"""Continuous kNN along paths (CNN queries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.continuous import (
+    PathSegment,
+    continuous_knn,
+    naive_continuous_knn,
+    uba_continuous_knn,
+)
+from repro.errors import QueryError
+from repro.network.dijkstra import shortest_path
+
+
+def random_path(network, length, seed):
+    """A random walk without immediate backtracking."""
+    rng = np.random.default_rng(seed)
+    node = int(rng.integers(network.num_nodes))
+    path = [node]
+    previous = -1
+    for _ in range(length - 1):
+        options = [n for n, _ in network.neighbors(node) if n != previous]
+        if not options:
+            options = [n for n, _ in network.neighbors(node)]
+        previous = node
+        node = int(options[rng.integers(len(options))])
+        path.append(node)
+    return path
+
+
+def knn_distance_multiset(index, ground_truth, node, knn_set):
+    return sorted(ground_truth[rank, node] for rank in knn_set)
+
+
+class TestNaive:
+    def test_segments_tile_the_path(self, sig_index, small_net):
+        path = random_path(small_net, 12, seed=1)
+        segments = naive_continuous_knn(sig_index, path, 3)
+        assert segments[0].start == 0
+        assert segments[-1].end == len(path) - 1
+        for a, b in zip(segments, segments[1:]):
+            assert b.start == a.end + 1
+            assert a.knn != b.knn  # maximal runs
+
+    def test_each_segment_holds_a_true_knn_set(
+        self, sig_index, ground_truth, small_net
+    ):
+        path = random_path(small_net, 10, seed=2)
+        segments = naive_continuous_knn(sig_index, path, 4)
+        for segment in segments:
+            for i in range(segment.start, segment.end + 1):
+                node = path[i]
+                expected = sorted(ground_truth[:, node])[:4]
+                assert knn_distance_multiset(
+                    sig_index, ground_truth, node, segment.knn
+                ) == expected
+
+    def test_single_node_path(self, sig_index):
+        segments = naive_continuous_knn(sig_index, [5], 2)
+        assert segments == [PathSegment(0, 0, segments[0].knn)]
+        assert len(segments[0].knn) == 2
+
+    def test_invalid_inputs(self, sig_index, small_net):
+        with pytest.raises(QueryError):
+            naive_continuous_knn(sig_index, [], 2)
+        with pytest.raises(QueryError):
+            naive_continuous_knn(sig_index, [0], 0)
+        # Two nodes that are not adjacent.
+        non_edge = None
+        for v in small_net.nodes():
+            if not small_net.has_edge(0, v) and v != 0:
+                non_edge = v
+                break
+        with pytest.raises(QueryError):
+            naive_continuous_knn(sig_index, [0, non_edge], 2)
+
+
+class TestUnicons:
+    @pytest.mark.parametrize("seed", [3, 4, 5, 6])
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_matches_naive_distance_profile(
+        self, sig_index, ground_truth, small_net, seed, k
+    ):
+        """Per node, the UNICONS answer's distance multiset equals the
+        naive one's (sets may differ only across exact ties)."""
+        path = random_path(small_net, 14, seed=seed)
+        naive = naive_continuous_knn(sig_index, path, k)
+        fast = continuous_knn(sig_index, path, k)
+
+        def per_node_sets(segments, length):
+            out = [None] * length
+            for segment in segments:
+                for i in range(segment.start, segment.end + 1):
+                    out[i] = segment.knn
+            return out
+
+        naive_sets = per_node_sets(naive, len(path))
+        fast_sets = per_node_sets(fast, len(path))
+        for i, node in enumerate(path):
+            assert knn_distance_multiset(
+                sig_index, ground_truth, node, naive_sets[i]
+            ) == knn_distance_multiset(
+                sig_index, ground_truth, node, fast_sets[i]
+            )
+
+    def test_shortest_path_route(self, sig_index, small_net, ground_truth):
+        """CNN along an actual shortest path (the motivating use case:
+        kNN scopes along a planned route)."""
+        _, route = shortest_path(small_net, 0, small_net.num_nodes - 1)
+        segments = continuous_knn(sig_index, route, 2)
+        assert segments[0].start == 0
+        assert segments[-1].end == len(route) - 1
+        covered = sum(s.end - s.start + 1 for s in segments)
+        assert covered == len(route)
+
+    def test_fewer_full_evaluations_than_naive(self, sig_index, small_net):
+        """The point of UNICONS: interior nodes never run a full kNN.
+
+        Proxy: the optimized variant reads fewer signature pages than the
+        naive one on the same path.
+        """
+        path = random_path(small_net, 16, seed=7)
+        sig_index.reset_counters()
+        naive_continuous_knn(sig_index, path, 3)
+        naive_pages = sig_index.counter.logical_reads
+        sig_index.reset_counters()
+        continuous_knn(sig_index, path, 3)
+        fast_pages = sig_index.counter.logical_reads
+        assert fast_pages <= naive_pages
+
+    def test_single_node_path(self, sig_index):
+        segments = continuous_knn(sig_index, [9], 3)
+        assert len(segments) == 1
+        assert len(segments[0].knn) == 3
+
+
+class TestUba:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_matches_naive_distance_profile(
+        self, sig_index, ground_truth, small_net, seed, k
+    ):
+        path = random_path(small_net, 15, seed=seed)
+        naive = naive_continuous_knn(sig_index, path, k)
+        uba = uba_continuous_knn(sig_index, path, k)
+
+        def per_node_sets(segments, length):
+            out = [None] * length
+            for segment in segments:
+                for i in range(segment.start, segment.end + 1):
+                    out[i] = segment.knn
+            return out
+
+        naive_sets = per_node_sets(naive, len(path))
+        uba_sets = per_node_sets(uba, len(path))
+        for i, node in enumerate(path):
+            assert knn_distance_multiset(
+                sig_index, ground_truth, node, naive_sets[i]
+            ) == knn_distance_multiset(
+                sig_index, ground_truth, node, uba_sets[i]
+            )
+
+    def test_whole_dataset_window_is_one_segment(self, sig_index, small_net):
+        """k = D: no (k+1)-th neighbor exists, so one evaluation covers
+        the whole path."""
+        path = random_path(small_net, 10, seed=14)
+        k = len(sig_index.dataset)
+        segments = uba_continuous_knn(sig_index, path, k)
+        assert len(segments) == 1
+        assert segments[0].knn == frozenset(range(k))
+
+    def test_skips_evaluations_inside_windows(
+        self, sig_index, small_net, monkeypatch
+    ):
+        """UBA's point: fewer full kNN *evaluations* than the naive scan.
+
+        (Each UBA evaluation is a costlier type-1 query, so raw page
+        counts can go either way at small scale; the algorithmic claim is
+        about evaluation count.)
+        """
+        import repro.core.continuous as continuous_module
+
+        calls = {"n": 0}
+        original = continuous_module.knn_query
+
+        def counting_knn_query(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(continuous_module, "knn_query", counting_knn_query)
+        path = random_path(small_net, 20, seed=15)
+        naive_continuous_knn(sig_index, path, 2)
+        naive_calls, calls["n"] = calls["n"], 0
+        uba_continuous_knn(sig_index, path, 2)
+        uba_calls = calls["n"]
+        assert naive_calls == len(path)
+        assert uba_calls < naive_calls
+
+    def test_single_node_path(self, sig_index):
+        segments = uba_continuous_knn(sig_index, [3], 2)
+        assert len(segments) == 1
+        assert len(segments[0].knn) == 2

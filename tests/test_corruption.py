@@ -1,0 +1,96 @@
+"""Failure injection: corrupted indexes must fail loudly, never hang.
+
+The persistence work surfaced how dangerous a silently wrong link table
+is (a mis-ordered adjacency list once sent backtracking into a cycle);
+these tests pin the defenses: every corruption is detected and raised as
+:class:`~repro.errors.IndexError_` within bounded work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SignatureIndex
+from repro.core.operations import retrieve_distance, sort_by_distance
+from repro.errors import IndexError_
+
+
+@pytest.fixture()
+def corruptible(small_net, small_objs):
+    """A fresh index whose arrays tests may vandalize."""
+    return SignatureIndex.build(small_net, small_objs, backend="scipy")
+
+
+def _make_link_cycle(index, ranks=(0,)):
+    """Point two adjacent nodes' links at each other for some objects."""
+    network = index.network
+    # Find an edge (u, v) where neither hosts a corrupted object.
+    victims = {index.dataset[rank] for rank in ranks}
+    for edge in network.edges():
+        if not victims & {edge.u, edge.v}:
+            u, v = edge.u, edge.v
+            break
+    index.table.compressed[:, :] = False
+    last = index.partition.num_categories - 1
+    for rank in ranks:
+        index.table.links[u, rank] = network.neighbor_position(u, v)
+        index.table.links[v, rank] = network.neighbor_position(v, u)
+        # Keep categories non-exact so backtracking keeps walking.
+        index.table.categories[u, rank] = last
+        index.table.categories[v, rank] = last
+    return u
+
+
+class TestCycleGuard:
+    def test_link_cycle_raises_instead_of_hanging(self, corruptible):
+        u = _make_link_cycle(corruptible)
+        with pytest.raises(IndexError_, match="corrupt"):
+            retrieve_distance(corruptible, u, 0)
+
+    def test_cycle_detected_within_bounded_io(self, corruptible):
+        u = _make_link_cycle(corruptible)
+        corruptible.reset_counters()
+        with pytest.raises(IndexError_):
+            retrieve_distance(corruptible, u, 0)
+        # The guard trips after ~N steps; each step touches O(1) records.
+        n = corruptible.network.num_nodes
+        assert corruptible.counter.logical_reads <= 4 * n + 10
+
+    def test_knn_on_corrupted_index_raises(self, corruptible):
+        """Force the kNN boundary bucket onto two cycled objects."""
+        u = _make_link_cycle(corruptible, ranks=(0, 1))
+        # Push every other object out of contention at u, so k=1 must
+        # exactly sort the two corrupted last-category objects.
+        unreachable = corruptible.partition.unreachable
+        for rank in range(2, len(corruptible.dataset)):
+            corruptible.table.categories[u, rank] = unreachable
+        with pytest.raises(IndexError_):
+            corruptible.knn(u, 1)
+
+
+class TestOtherCorruptions:
+    def test_dangling_compressed_flag_raises(self, corruptible):
+        """A flagged component whose link group has no stored base."""
+        table = corruptible.table
+        table.compressed[:, :] = False
+        table.bases = None
+        # Flag every component of node 3 that shares link 0: no base left.
+        links = table.links[3]
+        group = np.flatnonzero(links == links[np.flatnonzero(links >= 0)[0]])
+        table.compressed[3, group] = True
+        with pytest.raises(IndexError_):
+            corruptible.component(3, int(group[0]))
+
+    def test_verify_catches_wrong_category(self, corruptible):
+        corruptible.table.compressed[:, :] = False
+        corruptible.table.categories[7, 0] = corruptible.partition.unreachable
+        with pytest.raises(IndexError_):
+            corruptible.verify(
+                sample_nodes=corruptible.network.num_nodes, seed=0
+            )
+
+    def test_sorting_corrupted_pair_raises(self, corruptible):
+        """Sorting two same-category cycled objects must exactly compare
+        them, walk the cycle, and trip the guard — never spin."""
+        u = _make_link_cycle(corruptible, ranks=(0, 1))
+        with pytest.raises(IndexError_):
+            sort_by_distance(corruptible, u, [0, 1])

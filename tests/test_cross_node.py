@@ -1,0 +1,107 @@
+"""Cross-node compression (§7 future work): delta encoding vs neighbors."""
+
+import numpy as np
+import pytest
+
+from repro.core.cross_node import NO_REFERENCE, plan_cross_node_compression
+from repro.errors import IndexError_
+
+
+@pytest.fixture(scope="module")
+def plan(small_net, sig_index):
+    return plan_cross_node_compression(small_net, sig_index.table)
+
+
+class TestPlanValidity:
+    def test_references_are_graph_neighbors(self, plan, small_net):
+        for node in small_net.nodes():
+            ref = int(plan.reference[node])
+            if ref != NO_REFERENCE:
+                assert small_net.has_edge(node, ref)
+
+    def test_references_respect_storage_order(self, plan):
+        position = {node: i for i, node in enumerate(plan.order)}
+        for node, ref in enumerate(plan.reference):
+            if ref != NO_REFERENCE:
+                assert position[int(ref)] < position[node]
+
+    def test_chains_bounded(self, small_net, sig_index):
+        for max_chain in (0, 1, 2, 5):
+            plan = plan_cross_node_compression(
+                small_net, sig_index.table, max_chain=max_chain
+            )
+            assert int(plan.chain_length.max(initial=0)) <= max_chain
+
+    def test_zero_chain_forbids_references(self, small_net, sig_index):
+        plan = plan_cross_node_compression(
+            small_net, sig_index.table, max_chain=0
+        )
+        assert (plan.reference == NO_REFERENCE).all()
+
+    def test_chain_lengths_consistent_with_references(self, plan):
+        for node, ref in enumerate(plan.reference):
+            if ref == NO_REFERENCE:
+                assert plan.chain_length[node] == 0
+            else:
+                assert (
+                    plan.chain_length[node]
+                    == plan.chain_length[int(ref)] + 1
+                )
+
+    def test_network_table_mismatch_rejected(self, grid5, sig_index):
+        with pytest.raises(IndexError_):
+            plan_cross_node_compression(grid5, sig_index.table)
+
+    def test_negative_chain_rejected(self, small_net, sig_index):
+        with pytest.raises(IndexError_):
+            plan_cross_node_compression(
+                small_net, sig_index.table, max_chain=-1
+            )
+
+
+class TestSavings:
+    def test_nearby_nodes_are_similar_so_deltas_pay(self, plan):
+        """The §7 premise: neighboring signatures are similar enough that
+        delta encoding beats standalone storage for a real share of
+        nodes."""
+        assert plan.referenced_fraction > 0.3
+
+    def test_longer_chains_never_hurt_storage(self, small_net, sig_index):
+        sizes = [
+            plan_cross_node_compression(
+                small_net, sig_index.table, max_chain=c
+            ).total_bits
+            for c in (0, 1, 2, 4)
+        ]
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_read_cost_grows_with_chain_budget(self, small_net, sig_index):
+        """The anticipated trade-off: storage down, dereferences up."""
+        short = plan_cross_node_compression(
+            small_net, sig_index.table, max_chain=1
+        )
+        long = plan_cross_node_compression(
+            small_net, sig_index.table, max_chain=4
+        )
+        assert long.mean_chain_length() >= short.mean_chain_length()
+
+    def test_per_node_bits_never_exceed_standalone(self, plan, sig_index):
+        table = sig_index.table
+        m = table.partition.num_categories
+        code_len = np.where(
+            table.categories == m, m, m - table.categories
+        ).astype(np.int64)
+        payload = np.where(table.compressed, 0, code_len)
+        ref_bits = max(1, int(np.ceil(np.log2(table.max_degree + 1))))
+        for node in range(table.num_nodes):
+            standalone = (
+                ref_bits
+                + table.num_objects * table.link_bits()
+                + int(payload[node].sum())
+            )
+            assert plan.record_bits_paper[node] <= standalone
+
+    def test_ratio_definition(self, plan):
+        assert plan.ratio == pytest.approx(
+            plan.total_bits / plan.baseline_total_bits
+        )

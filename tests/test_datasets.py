@@ -1,0 +1,127 @@
+"""Object dataset generation and the ObjectDataset container."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.network.datasets import (
+    PAPER_DENSITIES,
+    ObjectDataset,
+    clustered_dataset,
+    uniform_dataset,
+)
+
+
+class TestObjectDataset:
+    def test_order_and_rank_are_inverse(self):
+        ds = ObjectDataset([30, 10, 20])
+        assert ds[0] == 30 and ds[1] == 10 and ds[2] == 20
+        assert [ds.rank(n) for n in (30, 10, 20)] == [0, 1, 2]
+
+    def test_membership(self):
+        ds = ObjectDataset([1, 2])
+        assert 1 in ds and 3 not in ds
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DatasetError):
+            ObjectDataset([1, 1])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(DatasetError):
+            ObjectDataset([-1])
+
+    def test_rank_of_non_object(self):
+        with pytest.raises(DatasetError):
+            ObjectDataset([1]).rank(2)
+
+    def test_equality_and_hash(self):
+        assert ObjectDataset([1, 2]) == ObjectDataset([1, 2])
+        assert ObjectDataset([1, 2]) != ObjectDataset([2, 1])
+        assert hash(ObjectDataset([1, 2])) == hash(ObjectDataset([1, 2]))
+
+    def test_validate_against(self, small_net):
+        ObjectDataset([0, small_net.num_nodes - 1]).validate_against(small_net)
+        with pytest.raises(DatasetError):
+            ObjectDataset([small_net.num_nodes]).validate_against(small_net)
+
+    def test_density(self, small_net):
+        ds = ObjectDataset(list(range(30)))
+        assert ds.density(small_net) == 30 / small_net.num_nodes
+
+
+class TestUniform:
+    def test_count_matches_density(self, small_net):
+        ds = uniform_dataset(small_net, density=0.1, seed=1)
+        assert len(ds) == round(0.1 * small_net.num_nodes)
+
+    def test_minimum_one_object(self, small_net):
+        ds = uniform_dataset(small_net, density=1e-6, seed=1)
+        assert len(ds) == 1
+
+    def test_deterministic(self, small_net):
+        a = uniform_dataset(small_net, density=0.05, seed=3)
+        b = uniform_dataset(small_net, density=0.05, seed=3)
+        assert a == b
+
+    def test_all_objects_are_valid_nodes(self, small_net):
+        ds = uniform_dataset(small_net, density=0.2, seed=4)
+        assert all(0 <= n < small_net.num_nodes for n in ds)
+
+    def test_invalid_density_rejected(self, small_net):
+        with pytest.raises(DatasetError):
+            uniform_dataset(small_net, density=0.0, seed=1)
+        with pytest.raises(DatasetError):
+            uniform_dataset(small_net, density=1.5, seed=1)
+
+
+class TestClustered:
+    def test_count_matches_density(self, small_net):
+        ds = clustered_dataset(
+            small_net, density=0.1, seed=1, num_clusters=5
+        )
+        assert len(ds) == round(0.1 * small_net.num_nodes)
+
+    def test_deterministic(self, small_net):
+        a = clustered_dataset(small_net, density=0.05, seed=3, num_clusters=4)
+        b = clustered_dataset(small_net, density=0.05, seed=3, num_clusters=4)
+        assert a == b
+
+    def test_no_duplicates(self, small_net):
+        ds = clustered_dataset(small_net, density=0.2, seed=2, num_clusters=3)
+        assert len(set(ds)) == len(ds)
+
+    def test_clustering_is_tighter_than_uniform(self, small_net):
+        """Mean pairwise Euclidean distance shrinks under clustering."""
+        import itertools
+        import math
+
+        def spread(ds):
+            coords = [small_net.coordinates(n) for n in ds]
+            pairs = list(itertools.combinations(coords, 2))
+            return sum(
+                math.hypot(a[0] - b[0], a[1] - b[1]) for a, b in pairs
+            ) / len(pairs)
+
+        uniform = uniform_dataset(small_net, density=0.1, seed=5)
+        clustered = clustered_dataset(
+            small_net, density=0.1, seed=5, num_clusters=2, spread=0.01
+        )
+        assert spread(clustered) < spread(uniform)
+
+    def test_rejects_zero_clusters(self, small_net):
+        with pytest.raises(DatasetError):
+            clustered_dataset(small_net, density=0.1, seed=1, num_clusters=0)
+
+
+class TestPaperDensities:
+    def test_labels_match_section_6_1(self):
+        assert set(PAPER_DENSITIES) == {
+            "0.0005",
+            "0.001",
+            "0.01",
+            "0.01(nu)",
+            "0.05",
+        }
+
+    def test_values(self):
+        assert PAPER_DENSITIES["0.0005"] == 0.0005
+        assert PAPER_DENSITIES["0.01(nu)"] == 0.01

@@ -1,0 +1,203 @@
+"""Dijkstra variants validated against networkx ground truth."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import DisconnectedError
+from repro.network.dijkstra import (
+    bidirectional_distance,
+    bounded_search,
+    multi_source_tree,
+    shortest_path,
+    shortest_path_distance,
+    shortest_path_tree,
+)
+from repro.network.graph import RoadNetwork
+
+
+class TestFullTree:
+    def test_matches_networkx_on_random_network(self, small_net):
+        g = small_net.to_networkx()
+        expected = nx.single_source_dijkstra_path_length(g, 0, weight="weight")
+        tree = shortest_path_tree(small_net, 0)
+        for node in small_net.nodes():
+            assert tree.distance[node] == expected.get(node, math.inf)
+
+    def test_matches_networkx_on_grid(self, grid5):
+        g = grid5.to_networkx()
+        expected = nx.single_source_dijkstra_path_length(g, 12, weight="weight")
+        tree = shortest_path_tree(grid5, 12)
+        for node in grid5.nodes():
+            assert tree.distance[node] == expected[node]
+
+    def test_source_distance_zero(self, small_net):
+        tree = shortest_path_tree(small_net, 5)
+        assert tree.distance[5] == 0.0
+        assert tree.parent[5] == -1
+
+    def test_parents_telescope(self, small_net):
+        tree = shortest_path_tree(small_net, 0)
+        for node in small_net.nodes():
+            parent = tree.parent[node]
+            if parent == -1:
+                continue
+            weight = small_net.edge_weight(node, parent)
+            assert tree.distance[node] == tree.distance[parent] + weight
+
+    def test_settled_order_is_nondecreasing(self, small_net):
+        tree = shortest_path_tree(small_net, 3)
+        distances = [tree.distance[v] for v in tree.settled]
+        assert distances == sorted(distances)
+
+    def test_path_to_reconstructs_shortest_path(self, grid5):
+        tree = shortest_path_tree(grid5, 0)
+        path = tree.path_to(24)
+        assert path[0] == 0 and path[-1] == 24
+        total = sum(
+            grid5.edge_weight(a, b) for a, b in zip(path, path[1:])
+        )
+        assert total == tree.distance[24]
+
+    def test_first_hop_on_path(self, grid5):
+        tree = shortest_path_tree(grid5, 0)
+        assert tree.first_hop(0) == 0
+        hop = tree.first_hop(24)
+        assert grid5.has_edge(0, hop)
+
+    def test_disconnected_nodes_unreached(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)])
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)
+        tree = shortest_path_tree(net, 0)
+        assert tree.distance[2] == math.inf
+        assert not tree.reached(2)
+        with pytest.raises(DisconnectedError):
+            tree.path_to(3)
+
+
+class TestBoundedSearch:
+    def test_bound_limits_settled_nodes(self, small_net):
+        full = shortest_path_tree(small_net, 0)
+        bounded = bounded_search(small_net, 0, bound=20.0)
+        for node in small_net.nodes():
+            if full.distance[node] <= 20.0:
+                assert bounded.distance[node] == full.distance[node]
+            else:
+                assert bounded.distance[node] == math.inf
+
+    def test_bound_zero_settles_only_source(self, small_net):
+        tree = bounded_search(small_net, 7, bound=0.0)
+        assert tree.settled == [7]
+
+    def test_stop_nodes_terminate_early(self, small_net):
+        full = shortest_path_tree(small_net, 0)
+        target = max(small_net.nodes(), key=lambda v: (full.distance[v], v))
+        near = min(
+            (v for v in small_net.nodes() if v != 0),
+            key=lambda v: full.distance[v],
+        )
+        tree = bounded_search(small_net, 0, math.inf, stop_nodes=(near,))
+        assert tree.distance[near] == full.distance[near]
+        assert len(tree.settled) < small_net.num_nodes
+
+    def test_unsettled_tentative_distances_cleared(self, grid5):
+        tree = bounded_search(grid5, 0, bound=1.0)
+        for node in grid5.nodes():
+            assert tree.distance[node] in (0.0, 1.0, math.inf)
+
+
+class TestPointToPoint:
+    def test_distance_matches_networkx(self, small_net):
+        g = small_net.to_networkx()
+        for target in (1, 57, 123, 299):
+            expected = nx.dijkstra_path_length(g, 0, target, weight="weight")
+            assert shortest_path_distance(small_net, 0, target) == expected
+
+    def test_distance_to_self_is_zero(self, small_net):
+        assert shortest_path_distance(small_net, 9, 9) == 0.0
+
+    def test_path_endpoints_and_length(self, small_net):
+        distance, path = shortest_path(small_net, 2, 200)
+        assert path[0] == 2 and path[-1] == 200
+        total = sum(
+            small_net.edge_weight(a, b) for a, b in zip(path, path[1:])
+        )
+        assert total == distance
+
+    def test_disconnected_raises(self):
+        net = RoadNetwork([(0, 0), (9, 9)])
+        with pytest.raises(DisconnectedError):
+            shortest_path_distance(net, 0, 1)
+
+
+class TestBidirectional:
+    def test_matches_one_sided_dijkstra(self, small_net):
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            source = int(rng.integers(small_net.num_nodes))
+            target = int(rng.integers(small_net.num_nodes))
+            assert bidirectional_distance(
+                small_net, source, target
+            ) == shortest_path_distance(small_net, source, target)
+
+    def test_grid_corners(self, grid5):
+        assert bidirectional_distance(grid5, 0, 24) == 8.0
+
+    def test_same_node(self, small_net):
+        assert bidirectional_distance(small_net, 7, 7) == 0.0
+
+    def test_adjacent_nodes(self, small_net):
+        node = 0
+        neighbor, weight = small_net.neighbors(node)[0]
+        assert bidirectional_distance(small_net, node, neighbor) <= weight
+
+    def test_disconnected_raises(self):
+        net = RoadNetwork([(0, 0), (9, 9)])
+        with pytest.raises(DisconnectedError):
+            bidirectional_distance(net, 0, 1)
+
+    def test_ring_both_directions(self, ring12):
+        # Antipodal nodes: both directions cost 6.
+        assert bidirectional_distance(ring12, 0, 6) == 6.0
+        assert bidirectional_distance(ring12, 0, 5) == 5.0
+
+
+class TestMultiSource:
+    def test_every_node_claimed_by_nearest_source(self, small_net):
+        sources = [0, 100, 200]
+        result = multi_source_tree(small_net, sources)
+        trees = {s: shortest_path_tree(small_net, s) for s in sources}
+        for node in small_net.nodes():
+            best = min(trees[s].distance[node] for s in sources)
+            assert result.distance[node] == best
+            assert trees[result.owner[node]].distance[node] == best
+
+    def test_ties_break_toward_smaller_owner(self, ring12):
+        # Nodes 0 and 6 are antipodal on the 12-ring: node 3 is exactly 3
+        # from both; the tie must go to owner 0.
+        result = multi_source_tree(ring12, [0, 6])
+        assert result.distance[3] == 3.0
+        assert result.owner[3] == 0
+
+    def test_sources_own_themselves(self, small_net):
+        result = multi_source_tree(small_net, [4, 44])
+        assert result.owner[4] == 4 and result.distance[4] == 0.0
+        assert result.owner[44] == 44 and result.distance[44] == 0.0
+
+    def test_parents_stay_within_owner_region(self, small_net):
+        result = multi_source_tree(small_net, [0, 150])
+        for node in small_net.nodes():
+            parent = result.parent[node]
+            if parent != -1:
+                assert result.owner[node] == result.owner[parent]
+
+    def test_unreachable_nodes_unowned(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5)])
+        net.add_edge(0, 1, 1.0)
+        result = multi_source_tree(net, [0])
+        assert result.owner[2] == -1
+        assert result.distance[2] == math.inf

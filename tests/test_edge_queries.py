@@ -1,0 +1,120 @@
+"""Queries from on-edge positions (§1's segment decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_queries import (
+    EdgeLocation,
+    distance_from_location,
+    knn_at,
+    range_query_at,
+)
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def some_edges(small_net):
+    edges = list(small_net.edges())
+    rng = np.random.default_rng(19)
+    return [edges[int(i)] for i in rng.choice(len(edges), 8, replace=False)]
+
+
+def true_distance_from(ground_truth, edge, offset, rank):
+    via_u = offset + ground_truth[rank, edge.u]
+    via_v = (edge.weight - offset) + ground_truth[rank, edge.v]
+    return min(via_u, via_v)
+
+
+class TestLocation:
+    def test_offset_bounds_enforced(self, sig_index, some_edges):
+        edge = some_edges[0]
+        with pytest.raises(QueryError):
+            EdgeLocation(edge.u, edge.v, -0.1).validate(sig_index)
+        with pytest.raises(QueryError):
+            EdgeLocation(edge.u, edge.v, edge.weight + 0.1).validate(sig_index)
+
+    def test_missing_edge_rejected(self, sig_index, small_net):
+        u = 0
+        v = next(
+            x for x in small_net.nodes() if x != u and not small_net.has_edge(u, x)
+        )
+        from repro.errors import EdgeNotFoundError
+
+        with pytest.raises(EdgeNotFoundError):
+            EdgeLocation(u, v, 0.5).validate(sig_index)
+
+
+class TestDistance:
+    def test_matches_two_endpoint_decomposition(
+        self, sig_index, ground_truth, some_edges
+    ):
+        for edge in some_edges:
+            for fraction in (0.0, 0.3, 0.5, 1.0):
+                offset = fraction * edge.weight
+                location = EdgeLocation(edge.u, edge.v, offset)
+                for rank in range(len(sig_index.dataset)):
+                    assert distance_from_location(
+                        sig_index, location, rank
+                    ) == true_distance_from(ground_truth, edge, offset, rank)
+
+    def test_endpoint_offsets_reduce_to_node_distances(
+        self, sig_index, ground_truth, some_edges
+    ):
+        edge = some_edges[1]
+        at_u = EdgeLocation(edge.u, edge.v, 0.0)
+        assert distance_from_location(sig_index, at_u, 0) == ground_truth[0, edge.u]
+
+
+class TestRangeAt:
+    @pytest.mark.parametrize("radius", [0.0, 15.0, 60.0])
+    def test_matches_brute_force(
+        self, sig_index, ground_truth, some_edges, radius
+    ):
+        for edge in some_edges[:4]:
+            offset = edge.weight / 2
+            location = EdgeLocation(edge.u, edge.v, offset)
+            result = range_query_at(sig_index, location, radius)
+            expected = sorted(
+                rank
+                for rank in range(len(sig_index.dataset))
+                if true_distance_from(ground_truth, edge, offset, rank)
+                <= radius
+            )
+            assert [rank for rank, _ in result] == expected
+            for rank, distance in result:
+                assert distance == true_distance_from(
+                    ground_truth, edge, offset, rank
+                )
+
+    def test_negative_radius_rejected(self, sig_index, some_edges):
+        edge = some_edges[0]
+        with pytest.raises(QueryError):
+            range_query_at(sig_index, EdgeLocation(edge.u, edge.v, 0.0), -1)
+
+
+class TestKnnAt:
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_matches_brute_force(self, sig_index, ground_truth, some_edges, k):
+        for edge in some_edges[:4]:
+            offset = edge.weight * 0.25
+            location = EdgeLocation(edge.u, edge.v, offset)
+            result = knn_at(sig_index, location, k)
+            truth = sorted(
+                true_distance_from(ground_truth, edge, offset, rank)
+                for rank in range(len(sig_index.dataset))
+            )[:k]
+            assert [d for _, d in result] == truth
+
+    def test_k_zero_rejected(self, sig_index, some_edges):
+        edge = some_edges[0]
+        with pytest.raises(QueryError):
+            knn_at(sig_index, EdgeLocation(edge.u, edge.v, 0.0), 0)
+
+    def test_facade_returns_object_nodes(self, sig_index, some_edges):
+        edge = some_edges[2]
+        location = EdgeLocation(edge.u, edge.v, edge.weight / 3)
+        result = sig_index.knn_at(location, 2)
+        assert len(result) == 2
+        for obj, distance in result:
+            assert obj in sig_index.dataset
+            assert distance >= 0

@@ -1,0 +1,116 @@
+"""The landmark-embedding baseline (§2's approximate competitor)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.embedding import EmbeddingIndex
+from repro.errors import IndexError_, QueryError
+
+
+@pytest.fixture(scope="module")
+def embedding(small_net, small_objs):
+    return EmbeddingIndex(small_net, small_objs, num_landmarks=12, seed=1)
+
+
+class TestConstruction:
+    def test_dimensionality(self, embedding):
+        assert embedding.dimensionality == 12
+        assert embedding.coordinates.shape == (
+            12,
+            embedding.network.num_nodes,
+        )
+
+    def test_landmarks_are_distinct(self, embedding):
+        assert len(set(embedding.landmarks)) == embedding.dimensionality
+
+    def test_farthest_first_spreads_landmarks(self, small_net, small_objs):
+        """Later landmarks are far from earlier ones (placement quality)."""
+        emb = EmbeddingIndex(small_net, small_objs, num_landmarks=6, seed=2)
+        # The second landmark is the farthest node from the first.
+        first_row = emb.coordinates[0]
+        assert first_row[emb.landmarks[1]] == np.nanmax(
+            np.where(np.isfinite(first_row), first_row, np.nan)
+        )
+
+    def test_rejects_zero_landmarks(self, small_net, small_objs):
+        with pytest.raises(IndexError_):
+            EmbeddingIndex(small_net, small_objs, num_landmarks=0)
+
+    def test_size_accounting(self, embedding):
+        assert embedding.size_bytes() == embedding.coordinates.size * 4
+
+
+class TestLowerBound:
+    def test_bound_never_exceeds_truth(self, embedding, ground_truth):
+        rng = np.random.default_rng(3)
+        for node in rng.choice(embedding.network.num_nodes, 25, replace=False):
+            node = int(node)
+            for rank in range(len(embedding.dataset)):
+                assert embedding.lower_bound(node, rank) <= (
+                    ground_truth[rank, node] + 1e-9
+                )
+
+    def test_bound_exact_at_landmark(self, embedding, ground_truth):
+        """At a landmark the Chebyshev bound is tight for every object."""
+        landmark = embedding.landmarks[0]
+        for rank in range(len(embedding.dataset)):
+            assert embedding.lower_bound(landmark, rank) == pytest.approx(
+                ground_truth[rank, landmark]
+            )
+
+
+class TestApproximateKnn:
+    def test_returns_k_objects(self, embedding):
+        result = embedding.knn(0, 4)
+        assert len(result) == 4
+        assert len(set(result)) == 4
+
+    def test_k_zero_rejected(self, embedding):
+        with pytest.raises(QueryError):
+            embedding.knn(0, 0)
+
+    def test_good_approximation_quality(self, embedding, ground_truth):
+        """§2: 'KNN in the embedding space is a good approximation of the
+        KNN in the road network' — recall well above chance."""
+        rng = np.random.default_rng(4)
+        k = 3
+        hits = 0
+        total = 0
+        for node in rng.choice(embedding.network.num_nodes, 30, replace=False):
+            node = int(node)
+            approx = {
+                embedding.dataset.rank(obj) for obj in embedding.knn(node, k)
+            }
+            order = sorted(
+                range(len(embedding.dataset)),
+                key=lambda rank: (ground_truth[rank, node], rank),
+            )
+            hits += len(approx & set(order[:k]))
+            total += k
+        assert hits / total > 0.6
+
+    def test_more_landmarks_never_less_accurate_on_average(
+        self, small_net, small_objs, ground_truth
+    ):
+        """The approximation tightens with dimensionality (the paper's
+        40–256 dimensions exist for a reason)."""
+        rng = np.random.default_rng(5)
+        nodes = [int(v) for v in rng.choice(small_net.num_nodes, 25, replace=False)]
+
+        def recall(num_landmarks):
+            emb = EmbeddingIndex(
+                small_net, small_objs, num_landmarks=num_landmarks, seed=6
+            )
+            hits = 0
+            for node in nodes:
+                approx = {
+                    emb.dataset.rank(obj) for obj in emb.knn(node, 3)
+                }
+                order = sorted(
+                    range(len(small_objs)),
+                    key=lambda rank: (ground_truth[rank, node], rank),
+                )
+                hits += len(approx & set(order[:3]))
+            return hits
+
+        assert recall(24) >= recall(2)

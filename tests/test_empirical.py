@@ -1,0 +1,121 @@
+"""Empirical (assumption-free) partition optimization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.empirical import (
+    empirical_query_cost,
+    measure_distance_profile,
+    optimize_partition,
+)
+from repro.core.categories import ExponentialPartition
+from repro.errors import PartitionError
+from repro.network.datasets import clustered_dataset
+
+
+@pytest.fixture(scope="module")
+def profile(small_net, small_objs):
+    return measure_distance_profile(
+        small_net, small_objs, sample_nodes=64, seed=1
+    )
+
+
+class TestProfile:
+    def test_distances_sorted_finite(self, profile):
+        assert np.all(np.isfinite(profile.distances))
+        assert np.all(np.diff(profile.distances) >= 0)
+
+    def test_metadata(self, profile, small_net, small_objs):
+        assert profile.num_objects == len(small_objs)
+        assert profile.max_degree == small_net.max_degree()
+        assert profile.mean_edge_weight > 0
+        assert profile.max_distance == profile.distances[-1]
+
+    def test_deterministic(self, small_net, small_objs):
+        a = measure_distance_profile(small_net, small_objs, sample_nodes=32, seed=5)
+        b = measure_distance_profile(small_net, small_objs, sample_nodes=32, seed=5)
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_invalid_sample_size(self, small_net, small_objs):
+        with pytest.raises(PartitionError):
+            measure_distance_profile(small_net, small_objs, sample_nodes=0)
+
+
+class TestCost:
+    def test_positive_and_finite(self, profile):
+        partition = ExponentialPartition(2.0, 5.0, 100.0)
+        cost = empirical_query_cost(
+            partition, profile, np.array([10.0, 20.0, 40.0])
+        )
+        assert 0 <= cost < math.inf
+
+    def test_spreading_mix_matters(self, profile):
+        """Local workloads must be cheaper than far-reaching ones."""
+        partition = ExponentialPartition(2.0, 5.0, 200.0)
+        near = empirical_query_cost(partition, profile, np.array([5.0]))
+        far = empirical_query_cost(partition, profile, np.array([150.0]))
+        assert near <= far
+
+    def test_empty_spreadings_rejected(self, profile):
+        partition = ExponentialPartition(2.0, 5.0, 100.0)
+        with pytest.raises(PartitionError):
+            empirical_query_cost(partition, profile, np.array([]))
+
+
+class TestOptimizer:
+    def test_returns_covering_partition(self, small_net, small_objs):
+        spreadings = [10.0, 25.0, 60.0]
+        partition, costs = optimize_partition(
+            small_net, small_objs, spreadings, sample_nodes=64, seed=2
+        )
+        assert partition.boundaries[-1] > max(spreadings)
+        assert len(costs) > 0
+
+    def test_winner_minimizes_the_table(self, small_net, small_objs):
+        spreadings = [15.0, 40.0]
+        partition, costs = optimize_partition(
+            small_net, small_objs, spreadings, sample_nodes=64, seed=3
+        )
+        best_key = min(costs, key=costs.get)
+        assert partition.c == best_key[0]
+        assert partition.first_boundary == best_key[1]
+
+    def test_works_on_clustered_data(self, small_net):
+        """The whole point of §7's second item: no uniformity assumption."""
+        clustered = clustered_dataset(
+            small_net, density=0.05, seed=9, num_clusters=3
+        )
+        partition, costs = optimize_partition(
+            small_net, clustered, [20.0, 50.0], sample_nodes=64, seed=4
+        )
+        assert partition.num_categories >= 2
+        assert costs[(partition.c, partition.first_boundary)] == min(
+            costs.values()
+        )
+
+    def test_deterministic(self, small_net, small_objs):
+        a, _ = optimize_partition(
+            small_net, small_objs, [30.0], sample_nodes=32, seed=7
+        )
+        b, _ = optimize_partition(
+            small_net, small_objs, [30.0], sample_nodes=32, seed=7
+        )
+        assert a == b
+
+    def test_empty_spreadings_rejected(self, small_net, small_objs):
+        with pytest.raises(PartitionError):
+            optimize_partition(small_net, small_objs, [])
+
+    def test_optimized_index_stays_exact(self, small_net, small_objs):
+        """An index built on the optimized partition answers correctly."""
+        from repro.core import SignatureIndex
+
+        partition, _ = optimize_partition(
+            small_net, small_objs, [20.0, 50.0], sample_nodes=64, seed=5
+        )
+        index = SignatureIndex.build(
+            small_net, small_objs, partition, backend="scipy"
+        )
+        index.verify(sample_nodes=6, seed=0)

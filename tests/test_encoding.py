@@ -1,0 +1,243 @@
+"""Reverse zero padding, Huffman optimality (Theorem 5.1), and bit I/O."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cost_model import average_code_length_estimate
+from repro.core.encoding import (
+    BitReader,
+    BitWriter,
+    average_code_length,
+    grid_category_frequencies,
+    huffman_code_lengths,
+    rzp_code,
+    rzp_code_length,
+    rzp_decode,
+)
+from repro.errors import EncodingError
+
+
+class TestRzpCode:
+    def test_last_category_is_single_one(self):
+        """§5.2: 'the last category is encoded as bit 1'."""
+        assert rzp_code(7, 8) == "1"
+
+    def test_second_last_is_01(self):
+        assert rzp_code(6, 8) == "01"
+
+    def test_padding_recurrence(self):
+        """code(B_i) = '0' + code(B_{i+1})."""
+        for m in (2, 5, 9):
+            for i in range(m - 1):
+                assert rzp_code(i, m) == "0" + rzp_code(i + 1, m)
+
+    def test_lengths(self):
+        for m in (1, 3, 8):
+            for i in range(m):
+                assert rzp_code_length(i, m) == m - i
+                assert len(rzp_code(i, m)) == m - i
+
+    def test_unreachable_sentinel_code(self):
+        assert rzp_code(4, 4) == "0000"
+        assert rzp_code_length(4, 4) == 4
+
+    def test_prefix_free(self):
+        codes = [rzp_code(i, 6) for i in range(7)]  # including sentinel
+        for a in codes:
+            for b in codes:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            rzp_code(9, 8)
+        with pytest.raises(EncodingError):
+            rzp_code(-1, 8)
+        with pytest.raises(EncodingError):
+            rzp_code(0, 0)
+
+    @given(m=st.integers(1, 24), category=st.integers(0, 24))
+    def test_decode_inverts_encode_property(self, m, category):
+        category = min(category, m)  # allow the sentinel
+        bits = rzp_code(category, m)
+        decoded, consumed = rzp_decode(bits, m)
+        assert decoded == category
+        assert consumed == len(bits)
+
+    def test_decode_concatenated_stream(self):
+        m = 5
+        cats = [4, 0, 2, 5, 3, 3]
+        stream = "".join(rzp_code(c, m) for c in cats)
+        pos = 0
+        out = []
+        while pos < len(stream):
+            c, pos = rzp_decode(stream, m, pos)
+            out.append(c)
+        assert out == cats
+
+    def test_decode_truncated_rejected(self):
+        with pytest.raises(EncodingError):
+            rzp_decode("000", 5)
+
+    def test_decode_sentinel_consumes_exactly_m_zeros(self):
+        category, pos = rzp_decode("0000001", 5)
+        assert category == 5  # sentinel after 5 zeros
+        assert pos == 5
+
+
+class TestHuffman:
+    def test_known_example(self):
+        lengths = huffman_code_lengths([5, 1, 1, 1])
+        # Dominant symbol gets the shortest code.
+        assert lengths[0] == 1
+        assert sorted(lengths[1:]) == [2, 3, 3]
+
+    def test_single_symbol(self):
+        assert huffman_code_lengths([10]) == [1]
+
+    def test_kraft_inequality_holds(self):
+        lengths = huffman_code_lengths([3, 1, 4, 1, 5, 9, 2, 6])
+        assert sum(2.0**-l for l in lengths) <= 1.0 + 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            huffman_code_lengths([])
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(EncodingError):
+            huffman_code_lengths([1, -1])
+
+    @given(
+        freqs=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=16
+        )
+    )
+    @settings(max_examples=60)
+    def test_huffman_never_beaten_by_rzp_property(self, freqs):
+        """Huffman is optimal: unary can match it, never beat it."""
+        m = len(freqs)
+        huffman = huffman_code_lengths(freqs)
+        if sum(freqs) == 0:
+            return
+        rzp = [rzp_code_length(i, m) for i in range(m)]
+        assert average_code_length(freqs, huffman) <= average_code_length(
+            freqs, rzp
+        ) + 1e-9
+
+
+class TestTheorem51:
+    """Reverse zero padding == Huffman on the grid when c > 3/2."""
+
+    @pytest.mark.parametrize("c", [1.6, 2.0, math.e, 4.0, 6.0])
+    @pytest.mark.parametrize("m", [3, 5, 8])
+    def test_rzp_matches_huffman_average_length(self, c, m):
+        # The codebook covers M categories plus the (zero-frequency)
+        # unreachable sentinel; Huffman over the same symbol set must tie.
+        freqs = grid_category_frequencies(c, 2.0, m, density=0.01) + [0.0]
+        huffman = huffman_code_lengths(freqs)
+        rzp = [rzp_code_length(i, m) for i in range(m + 1)]
+        assert average_code_length(freqs, rzp) == pytest.approx(
+            average_code_length(freqs, huffman)
+        )
+
+    def test_small_c_can_break_optimality(self):
+        """Below 3/2 the merge criterion can fail; find a witness."""
+        broken = False
+        for c in (1.05, 1.1, 1.2, 1.3):
+            for m in (4, 6, 8, 10):
+                freqs = grid_category_frequencies(c, 1.0, m, density=0.01) + [0.0]
+                huffman = huffman_code_lengths(freqs)
+                rzp = [rzp_code_length(i, m) for i in range(m + 1)]
+                if average_code_length(freqs, rzp) > average_code_length(
+                    freqs, huffman
+                ) + 1e-9:
+                    broken = True
+        assert broken
+
+    def test_frequencies_increase_with_category(self):
+        """Exponential partition + quadratic O(i): later categories hold
+        more objects — the premise of the whole encoding."""
+        freqs = grid_category_frequencies(2.0, 2.0, 6, density=0.01)
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+    def test_average_length_close_to_estimate_for_large_m(self):
+        """Equation 7: average length → c²/(c²−1) (~1.157 at c=e)."""
+        c = math.e
+        freqs = grid_category_frequencies(c, 2.0, 12, density=0.01)
+        rzp = [rzp_code_length(i, 12) for i in range(12)]
+        measured = average_code_length(freqs, rzp)
+        assert measured == pytest.approx(
+            average_code_length_estimate(c), rel=0.05
+        )
+
+
+class TestBitIO:
+    def test_round_trip_uint(self):
+        writer = BitWriter()
+        writer.write_uint(5, 3)
+        writer.write_uint(1023, 10)
+        writer.write_uint(0, 4)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert reader.read_uint(3) == 5
+        assert reader.read_uint(10) == 1023
+        assert reader.read_uint(4) == 0
+
+    def test_round_trip_rzp_stream(self):
+        m = 6
+        cats = [0, 5, 3, 6, 2, 2, 5]
+        writer = BitWriter()
+        from repro.core.encoding import rzp_code
+
+        for c in cats:
+            writer.write_bits(rzp_code(c, m))
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert [reader.read_rzp(m) for _ in cats] == cats
+        assert reader.remaining == 0
+
+    def test_mixed_signature_like_record(self):
+        """A realistic record: rzp category + fixed-width link, repeated."""
+        m, link_bits = 5, 3
+        components = [(0, 7), (4, 0), (2, 3), (5, 1)]
+        writer = BitWriter()
+        from repro.core.encoding import rzp_code
+
+        for category, link in components:
+            writer.write_bits(rzp_code(category, m))
+            writer.write_uint(link, link_bits)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        decoded = [
+            (reader.read_rzp(m), reader.read_uint(link_bits))
+            for _ in components
+        ]
+        assert decoded == components
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_uint(8, 3)
+
+    def test_non_bit_string_rejected(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_bits("01x")
+
+    def test_read_past_end_rejected(self):
+        writer = BitWriter()
+        writer.write_uint(1, 1)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        reader.read_bit()
+        with pytest.raises(EncodingError):
+            reader.read_bit()
+
+    def test_declared_length_validated(self):
+        with pytest.raises(EncodingError):
+            BitReader(b"\x00", bit_length=20)
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=64))
+    def test_bit_round_trip_property(self, bits):
+        text = "".join(str(b) for b in bits)
+        writer = BitWriter()
+        writer.write_bits(text)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert "".join(reader.read_bit() for _ in bits) == text

@@ -1,0 +1,89 @@
+"""INE (incremental network expansion): the online baseline."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.network.dijkstra import shortest_path_tree
+from repro.network.expansion import ine_aggregate, ine_knn, ine_range
+
+
+@pytest.fixture(scope="module")
+def truth(small_net, small_objs):
+    """object node -> distance-from-node-0 map."""
+    tree = shortest_path_tree(small_net, 0)
+    return {obj: tree.distance[obj] for obj in small_objs}
+
+
+class TestRange:
+    def test_results_match_ground_truth(self, small_net, small_objs, truth):
+        radius = 40.0
+        result = ine_range(small_net, 0, radius, small_objs)
+        expected = sorted(
+            (d, o) for o, d in truth.items() if d <= radius
+        )
+        assert [(d, o) for o, d in result.results] == expected
+
+    def test_results_sorted_by_distance(self, small_net, small_objs):
+        result = ine_range(small_net, 5, 100.0, small_objs)
+        distances = [d for _, d in result.results]
+        assert distances == sorted(distances)
+
+    def test_zero_radius_only_colocated(self, small_net, small_objs):
+        query = small_objs[0]
+        result = ine_range(small_net, query, 0.0, small_objs)
+        assert result.results == [(query, 0.0)]
+
+    def test_negative_radius_rejected(self, small_net, small_objs):
+        with pytest.raises(QueryError):
+            ine_range(small_net, 0, -1.0, small_objs)
+
+    def test_settled_nodes_grow_with_radius(self, small_net, small_objs):
+        small = ine_range(small_net, 0, 10.0, small_objs).nodes_settled
+        large = ine_range(small_net, 0, 80.0, small_objs).nodes_settled
+        assert small < large
+
+
+class TestKnn:
+    def test_knn_matches_sorted_truth(self, small_net, small_objs, truth):
+        expected = sorted((d, o) for o, d in truth.items())[:4]
+        result = ine_knn(small_net, 0, 4, small_objs)
+        assert [d for _, d in result.results] == [d for d, _ in expected]
+
+    def test_knn_distances_ascending(self, small_net, small_objs):
+        result = ine_knn(small_net, 17, 6, small_objs)
+        distances = [d for _, d in result.results]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_dataset_returns_all(self, small_net, small_objs):
+        result = ine_knn(small_net, 0, 10_000, small_objs)
+        assert len(result.results) == len(small_objs)
+
+    def test_k_zero_rejected(self, small_net, small_objs):
+        with pytest.raises(QueryError):
+            ine_knn(small_net, 0, 0, small_objs)
+
+    def test_query_on_object_returns_itself_first(self, small_net, small_objs):
+        obj = small_objs[3]
+        result = ine_knn(small_net, obj, 1, small_objs)
+        assert result.results == [(obj, 0.0)]
+
+    def test_knn_cost_grows_with_k(self, small_net, small_objs):
+        near = ine_knn(small_net, 0, 1, small_objs).nodes_settled
+        far = ine_knn(small_net, 0, len(small_objs), small_objs).nodes_settled
+        assert near < far
+
+
+class TestAggregate:
+    def test_default_count(self, small_net, small_objs, truth):
+        radius = 50.0
+        expected = sum(1 for d in truth.values() if d <= radius)
+        value, _ = ine_aggregate(small_net, 0, radius, small_objs)
+        assert value == expected
+
+    def test_sum_aggregate(self, small_net, small_objs, truth):
+        radius = 50.0
+        expected = sum(d for d in truth.values() if d <= radius)
+        value, _ = ine_aggregate(
+            small_net, 0, radius, small_objs, aggregate=sum
+        )
+        assert value == expected

@@ -1,0 +1,71 @@
+"""The full-indexing baseline."""
+
+import pytest
+
+from repro.baselines import FullIndex
+from repro.errors import QueryError
+
+
+class TestQueries:
+    def test_distance_matches_ground_truth(self, full_index, ground_truth):
+        for rank, obj in enumerate(full_index.dataset):
+            assert full_index.distance(5, obj) == ground_truth[rank, 5]
+
+    def test_range_matches_ground_truth(self, full_index, ground_truth):
+        radius = 50.0
+        expected = sorted(
+            full_index.dataset[rank]
+            for rank in range(len(full_index.dataset))
+            if ground_truth[rank, 9] <= radius
+        )
+        result = sorted(obj for obj, _ in full_index.range_query(9, radius))
+        assert result == expected
+
+    def test_knn_distances_ascending_and_exact(self, full_index, ground_truth):
+        result = full_index.knn(3, 5)
+        dists = [d for _, d in result]
+        assert dists == sorted(dists)
+        assert dists == sorted(ground_truth[:, 3])[:5]
+
+    def test_k_larger_than_dataset(self, full_index):
+        assert len(full_index.knn(0, 10_000)) == len(full_index.dataset)
+
+    def test_bad_arguments(self, full_index):
+        with pytest.raises(QueryError):
+            full_index.knn(0, 0)
+        with pytest.raises(QueryError):
+            full_index.range_query(0, -1)
+
+
+class TestCostModel:
+    def test_cost_is_flat_in_k(self, full_index):
+        """Fig 6.6: the full index's page cost does not depend on k."""
+        full_index.reset_counters()
+        full_index.knn(0, 1)
+        small_k = full_index.counter.logical_reads
+        full_index.reset_counters()
+        full_index.knn(0, len(full_index.dataset))
+        large_k = full_index.counter.logical_reads
+        assert small_k == large_k
+
+    def test_cost_is_flat_in_radius(self, full_index):
+        full_index.reset_counters()
+        full_index.range_query(0, 1.0)
+        small_r = full_index.counter.logical_reads
+        full_index.reset_counters()
+        full_index.range_query(0, 1e6)
+        large_r = full_index.counter.logical_reads
+        assert small_r == large_r
+
+    def test_size_is_4_bytes_per_entry_rounded_to_pages(self, full_index):
+        entries = full_index.network.num_nodes * len(full_index.dataset)
+        assert full_index.size_bytes >= entries * 4
+        # Page rounding never doubles the payload at this scale.
+        assert full_index.size_bytes < entries * 4 + (
+            full_index.network.num_nodes * full_index.page_size
+        )
+
+    def test_reset_counters(self, full_index):
+        full_index.knn(0, 1)
+        full_index.reset_counters()
+        assert full_index.counter.logical_reads == 0

@@ -1,0 +1,166 @@
+"""Synthetic network generators: the paper's construction recipe."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.network.generators import (
+    grid_network,
+    manhattan_network,
+    random_planar_network,
+    ring_network,
+    star_network,
+)
+
+
+def _is_connected(network):
+    seen = {0}
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for v, _ in network.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == network.num_nodes
+
+
+class TestRandomPlanar:
+    def test_deterministic_for_seed(self):
+        a = random_planar_network(200, seed=5)
+        b = random_planar_network(200, seed=5)
+        assert list(a.edges()) == list(b.edges())
+        assert [a.coordinates(v) for v in a.nodes()] == [
+            b.coordinates(v) for v in b.nodes()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_planar_network(200, seed=5)
+        b = random_planar_network(200, seed=6)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_connected(self):
+        for seed in (1, 2, 3):
+            assert _is_connected(random_planar_network(150, seed=seed))
+
+    def test_weights_are_integers_in_range(self):
+        net = random_planar_network(300, seed=9)
+        for edge in net.edges():
+            assert edge.weight == int(edge.weight)
+            assert 1 <= edge.weight <= 10
+
+    def test_custom_weight_range(self):
+        net = random_planar_network(100, seed=9, min_weight=3, max_weight=4)
+        assert {e.weight for e in net.edges()} <= {3.0, 4.0}
+
+    def test_mean_degree_near_target(self):
+        net = random_planar_network(2000, seed=11, mean_degree=4.0)
+        mean = 2 * net.num_edges / net.num_nodes
+        assert 2.0 < mean < 6.0
+
+    def test_single_node(self):
+        net = random_planar_network(1, seed=0)
+        assert net.num_nodes == 1
+        assert net.num_edges == 0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            random_planar_network(0, seed=1)
+        with pytest.raises(GraphError):
+            random_planar_network(10, seed=1, min_weight=5, max_weight=2)
+
+    def test_coordinates_inside_square(self):
+        net = random_planar_network(100, seed=2, side=50.0)
+        coords = np.array([net.coordinates(v) for v in net.nodes()])
+        assert coords.min() >= 0.0
+        assert coords.max() <= 50.0
+
+
+class TestGrid:
+    def test_node_and_edge_counts(self):
+        net = grid_network(4, 6)
+        assert net.num_nodes == 24
+        assert net.num_edges == 4 * 5 + 3 * 6
+
+    def test_interior_degree_four(self):
+        net = grid_network(5, 5)
+        assert net.degree(12) == 4  # center
+        assert net.degree(0) == 2  # corner
+        assert net.degree(2) == 3  # edge midpoint
+
+    def test_coordinates_match_grid_position(self):
+        net = grid_network(3, 4)
+        assert net.coordinates(0) == (0.0, 0.0)
+        assert net.coordinates(5) == (1.0, 1.0)  # row 1, col 1
+
+    def test_custom_weight(self):
+        net = grid_network(2, 2, edge_weight=7.0)
+        assert all(e.weight == 7.0 for e in net.edges())
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            grid_network(0, 3)
+
+
+class TestManhattan:
+    def test_structure_matches_grid(self):
+        net = manhattan_network(6, 6)
+        plain = grid_network(6, 6)
+        assert net.num_nodes == plain.num_nodes
+        assert net.num_edges == plain.num_edges
+
+    def test_arterials_carry_fast_edges(self):
+        net = manhattan_network(
+            6, 6, arterial_every=5, arterial_weight=1.0, street_weight=3.0
+        )
+        # Row 0 is an arterial: its horizontal edges are fast.
+        assert net.edge_weight(0, 1) == 1.0
+        # Row 1 is a local street.
+        assert net.edge_weight(6, 7) == 3.0
+        # Column 0 is an arterial: its vertical edges are fast.
+        assert net.edge_weight(0, 6) == 1.0
+        # Column 1 vertical is local.
+        assert net.edge_weight(1, 7) == 3.0
+
+    def test_shortest_paths_prefer_arterials(self):
+        """Crossing town is cheaper via the arterial than straight
+        through local streets — the structural property the generator
+        exists to create."""
+        from repro.network.dijkstra import shortest_path_distance
+
+        net = manhattan_network(
+            11, 11, arterial_every=5, arterial_weight=1.0, street_weight=4.0
+        )
+        # From (2,2) to (2,8): straight line = 6 local edges = 24; via
+        # the row-0 or row-5 arterial it costs less.
+        a = 2 * 11 + 2
+        b = 2 * 11 + 8
+        assert shortest_path_distance(net, a, b) < 24.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            manhattan_network(0, 5)
+        with pytest.raises(GraphError):
+            manhattan_network(5, 5, arterial_every=0)
+        with pytest.raises(GraphError):
+            manhattan_network(5, 5, street_weight=0)
+
+
+class TestRingAndStar:
+    def test_ring_degrees_all_two(self):
+        net = ring_network(10)
+        assert all(net.degree(v) == 2 for v in net.nodes())
+        assert net.num_edges == 10
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(GraphError):
+            ring_network(2)
+
+    def test_star_hub_degree(self):
+        net = star_network(8)
+        assert net.degree(0) == 8
+        assert all(net.degree(v) == 1 for v in range(1, 9))
+
+    def test_star_minimum_size(self):
+        with pytest.raises(GraphError):
+            star_network(0)

@@ -1,0 +1,94 @@
+"""The workload harness and experiment suite builder."""
+
+import pytest
+
+from repro.workloads import (
+    Measurement,
+    build_experiment_suite,
+    dataset_for,
+    format_table,
+    make_query_nodes,
+    measure_queries,
+)
+
+
+class TestQueryNodes:
+    def test_deterministic(self, small_net):
+        assert make_query_nodes(small_net, 10, seed=1) == make_query_nodes(
+            small_net, 10, seed=1
+        )
+
+    def test_count(self, small_net):
+        assert len(make_query_nodes(small_net, 25, seed=2)) == 25
+
+    def test_nodes_valid(self, small_net):
+        nodes = make_query_nodes(small_net, 25, seed=3)
+        assert all(0 <= n < small_net.num_nodes for n in nodes)
+
+    def test_oversampling_small_network_allowed(self, grid5):
+        nodes = make_query_nodes(grid5, 100, seed=4)
+        assert len(nodes) == 100
+
+
+class TestMeasureQueries:
+    def test_measures_pages_and_time(self, sig_index, small_net):
+        nodes = make_query_nodes(small_net, 10, seed=5)
+        m = measure_queries("sig", sig_index, lambda n: sig_index.knn(n, 3), nodes)
+        assert isinstance(m, Measurement)
+        assert m.queries == 10
+        assert m.pages > 0
+        assert m.seconds >= 0
+        assert m.extra["mean_result_size"] == 3.0
+
+    def test_counters_reset_before_measurement(self, sig_index, small_net):
+        sig_index.touch_signature(0)  # pollute
+        nodes = make_query_nodes(small_net, 5, seed=6)
+        m = measure_queries(
+            "sig", sig_index, lambda n: sig_index.range_query(n, 1.0), nodes
+        )
+        # pages reflect only the measured workload (tiny radius -> only
+        # the per-query signature read, far below a polluted counter).
+        assert m.pages < 1000
+
+    def test_non_sized_results_tolerated(self, sig_index, small_net):
+        nodes = make_query_nodes(small_net, 3, seed=7)
+        m = measure_queries(
+            "sig",
+            sig_index,
+            lambda n: sig_index.aggregate_range(n, 10.0, "count"),
+            nodes,
+        )
+        assert m.queries == 3
+
+
+class TestFormatTable:
+    def test_includes_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], [10, 0.001]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert "a" in text and "b" in text
+        assert "10" in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[123456]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])
+
+
+class TestSuiteBuilder:
+    def test_builds_requested_labels(self):
+        suite = build_experiment_suite(400, seed=9, labels=("0.01", "0.05"))
+        assert set(suite.datasets) == {"0.01", "0.05"}
+        assert suite.network.num_nodes == 400
+
+    def test_density_honored(self):
+        suite = build_experiment_suite(500, seed=9, labels=("0.01",))
+        assert len(suite.datasets["0.01"]) == round(0.01 * 500)
+
+    def test_nonuniform_label_clusters(self):
+        suite = build_experiment_suite(600, seed=9, labels=("0.01(nu)",))
+        assert len(suite.datasets["0.01(nu)"]) == round(0.01 * 600)
+
+    def test_dataset_for_deterministic(self, small_net):
+        assert dataset_for(small_net, "0.01", seed=1) == dataset_for(
+            small_net, "0.01", seed=1
+        )

@@ -1,0 +1,59 @@
+"""IER: incremental Euclidean restriction."""
+
+import pytest
+
+from repro.baselines.ier import euclidean_scale, ier_knn, ier_range
+from repro.errors import QueryError
+from repro.network.generators import grid_network
+
+
+class TestCorrectness:
+    def test_knn_matches_ground_truth(self, small_net, small_objs, ground_truth):
+        for node in (0, 50, 150):
+            results, _ = ier_knn(small_net, node, 4, small_objs)
+            dists = [d for _, d in results]
+            assert dists == sorted(ground_truth[:, node])[:4]
+
+    def test_range_matches_ground_truth(self, small_net, small_objs, ground_truth):
+        radius = 45.0
+        for node in (0, 99):
+            results, _ = ier_range(small_net, node, radius, small_objs)
+            expected = sorted(
+                (float(ground_truth[rank, node]), small_objs[rank])
+                for rank in range(len(small_objs))
+                if ground_truth[rank, node] <= radius
+            )
+            assert [(d, o) for o, d in results] == expected
+
+    def test_bad_arguments(self, small_net, small_objs):
+        with pytest.raises(QueryError):
+            ier_knn(small_net, 0, 0, small_objs)
+        with pytest.raises(QueryError):
+            ier_range(small_net, 0, -1.0, small_objs)
+
+
+class TestPruningPower:
+    def test_grid_prunes_with_full_strength(self):
+        """On a unit grid the Euclidean bound is tight: scale is 1 and
+        range queries refine only nearby candidates."""
+        from repro.network.datasets import ObjectDataset
+
+        net = grid_network(12, 12)
+        objects = ObjectDataset([0, 13, 77, 140, 143])
+        scale = euclidean_scale(net)
+        assert scale == pytest.approx(1.0)
+        _, refinements = ier_range(net, 0, 3.0, objects)
+        assert refinements < len(objects)
+
+    def test_random_weights_weaken_the_bound(self, small_net, small_objs):
+        """§2's critique: with non-length weights the lower bound sags,
+        so IER must refine almost everything."""
+        scale = euclidean_scale(small_net)
+        assert scale < 1.0
+        _, refinements = ier_range(small_net, 0, 50.0, small_objs)
+        # The weak bound forces refinement of most candidates.
+        assert refinements >= len(small_objs) // 2
+
+    def test_knn_refinements_bounded_by_dataset(self, small_net, small_objs):
+        _, refinements = ier_knn(small_net, 0, 2, small_objs)
+        assert refinements <= len(small_objs)

@@ -1,0 +1,196 @@
+"""The SignatureIndex facade: construction options, storage, self-check."""
+
+import numpy as np
+import pytest
+
+from repro.core import SignatureIndex
+from repro.core.categories import ExponentialPartition
+from repro.errors import IndexError_
+from repro.storage.buffer import LRUBufferPool
+
+
+class TestBuildOptions:
+    def test_default_partition_is_optimal_exponential(self, sig_index):
+        import math
+
+        assert isinstance(sig_index.partition, ExponentialPartition)
+        assert sig_index.partition.c == math.e
+
+    def test_explicit_partition_respected(self, small_net, small_objs):
+        partition = ExponentialPartition(3.0, 7.0, 500.0)
+        index = SignatureIndex.build(
+            small_net, small_objs, partition, backend="scipy"
+        )
+        assert index.partition is partition
+
+    def test_uncompressed_build(self, small_net, small_objs):
+        index = SignatureIndex.build(
+            small_net, small_objs, backend="scipy", compress=False
+        )
+        assert index.stored_kind == "encoded"
+        assert not index.table.compressed.any()
+        assert index.compression_stats is None
+
+    def test_compressed_build_records_stats(self, sig_index):
+        assert sig_index.stored_kind == "compressed"
+        assert sig_index.compression_stats is not None
+        assert sig_index.compression_stats.compressed_components == int(
+            sig_index.table.compressed.sum()
+        )
+
+    def test_trees_only_when_requested(self, sig_index, updatable_index):
+        assert sig_index.trees is None
+        assert updatable_index.trees is not None
+
+    def test_invalid_stored_kind_rejected(self, small_net, small_objs, sig_index):
+        with pytest.raises(IndexError_):
+            SignatureIndex(
+                small_net,
+                small_objs,
+                sig_index.partition,
+                sig_index.table,
+                sig_index.object_table,
+                stored_kind="zip",
+            )
+
+
+class TestStorageSchemas:
+    """§3.1's two schemas must answer identically."""
+
+    @pytest.fixture(scope="class")
+    def merged(self, small_net, small_objs):
+        return SignatureIndex.build(
+            small_net, small_objs, backend="scipy", storage_schema="merged"
+        )
+
+    def test_answers_match_separate_schema(self, merged, sig_index):
+        for node in (0, 50, 200):
+            assert merged.knn(node, 4) == sig_index.knn(node, 4)
+            assert merged.range_query(node, 40.0) == sig_index.range_query(
+                node, 40.0
+            )
+
+    def test_merged_report_has_no_separate_adjacency(self, merged):
+        report = merged.storage_report()
+        assert report.adjacency_pages == 0
+        assert report.signature_pages >= 1
+
+    def test_merged_backtracking_hop_touches_one_record(self, merged):
+        """touch_signature and touch_adjacency hit the same file."""
+        assert merged._signature_layout is merged._adjacency_layout
+
+    def test_unknown_schema_rejected(self, small_net, small_objs):
+        with pytest.raises(IndexError_):
+            SignatureIndex.build(
+                small_net, small_objs, backend="scipy", storage_schema="cloud"
+            )
+
+    def test_merged_verifies(self, merged):
+        merged.verify(sample_nodes=6, seed=0)
+
+
+class TestStorageReport:
+    def test_size_ordering(self, sig_index):
+        report = sig_index.storage_report()
+        assert report.encoded_bits < report.raw_bits
+        assert report.compressed_bits <= report.encoded_bits + (
+            sig_index.table.num_nodes * sig_index.table.num_objects
+        )
+
+    def test_ratios(self, sig_index):
+        report = sig_index.storage_report()
+        assert 0 < report.encoded_ratio < 1
+        assert report.compressed_ratio > 0
+
+    def test_pages_positive(self, sig_index):
+        report = sig_index.storage_report()
+        assert report.signature_pages >= 1
+        assert report.adjacency_pages >= 1
+        assert report.total_bytes == (
+            report.signature_pages + report.adjacency_pages
+        ) * report.page_size
+
+    def test_smaller_than_full_index(self, sig_index, full_index):
+        """Fig 6.4(a)'s core claim at any scale: signature < full."""
+        assert (
+            sig_index.storage_report().signature_pages
+            * sig_index.page_size
+            < full_index.size_bytes
+        )
+
+
+class TestCounters:
+    def test_reset(self, sig_index):
+        sig_index.touch_signature(0)
+        assert sig_index.counter.logical_reads > 0
+        sig_index.reset_counters()
+        assert sig_index.counter.logical_reads == 0
+        assert sig_index.decompressions == 0
+
+    def test_component_counts_decompressions(self, sig_index):
+        sig_index.reset_counters()
+        flagged = np.argwhere(sig_index.table.compressed)
+        if len(flagged) == 0:
+            pytest.skip("nothing compressed at this configuration")
+        node, rank = (int(x) for x in flagged[0])
+        sig_index.component(node, rank)
+        assert sig_index.decompressions == 1
+
+    def test_buffer_pool_integration(self, small_net, small_objs):
+        pool = LRUBufferPool(capacity=64)
+        index = SignatureIndex.build(
+            small_net, small_objs, backend="scipy", buffer_pool=pool
+        )
+        index.touch_signature(0)
+        index.touch_signature(0)
+        assert index.counter.logical_reads == 2
+        assert index.counter.physical_reads < 2
+
+
+class TestVerifyAndApi:
+    def test_verify_passes_on_fresh_index(self, sig_index):
+        sig_index.verify(sample_nodes=8, seed=0)
+
+    def test_verify_detects_corruption(self, small_net, small_objs):
+        index = SignatureIndex.build(small_net, small_objs, backend="scipy")
+        # Corrupt one stored category far from the truth.
+        index.table.compressed[:, :] = False
+        index.table.categories[10, 0] = index.partition.unreachable
+        with pytest.raises(IndexError_):
+            index.verify(sample_nodes=small_net.num_nodes, seed=0)
+
+    def test_distance_api_uses_object_nodes(self, sig_index, ground_truth):
+        obj = sig_index.dataset[2]
+        assert sig_index.distance(7, obj) == ground_truth[2, 7]
+
+    def test_distance_range_api(self, sig_index, ground_truth):
+        obj = sig_index.dataset[0]
+        truth = float(ground_truth[0, 7])
+        result = sig_index.distance_range(7, obj, (truth / 2, truth / 2))
+        if result.is_exact:
+            assert result.value == truth
+        else:
+            assert result.lb <= truth < result.ub
+
+    def test_compare_api(self, sig_index, ground_truth):
+        a, b = sig_index.dataset[0], sig_index.dataset[1]
+        expected = float(ground_truth[0, 3] - ground_truth[1, 3])
+        expected = int(expected > 0) - int(expected < 0)
+        assert sig_index.compare(3, a, b) == expected
+
+    def test_sort_objects_api(self, sig_index, ground_truth):
+        objs = list(sig_index.dataset)[:6]
+        ordered = sig_index.sort_objects(9, objs)
+        dists = [
+            ground_truth[sig_index.dataset.rank(obj), 9] for obj in ordered
+        ]
+        assert dists == sorted(dists)
+
+    def test_refresh_storage_preserves_queries(self, small_net, small_objs):
+        from repro.core import KnnType
+
+        index = SignatureIndex.build(small_net, small_objs, backend="scipy")
+        before = index.knn(0, 3, knn_type=KnnType.EXACT_DISTANCES)
+        index.refresh_storage()
+        after = index.knn(0, 3, knn_type=KnnType.EXACT_DISTANCES)
+        assert before == after

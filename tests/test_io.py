@@ -1,0 +1,84 @@
+"""Serialization round-trips for networks and datasets."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network.datasets import ObjectDataset, uniform_dataset
+from repro.network.io import (
+    load_dataset,
+    load_network,
+    save_dataset,
+    save_network,
+)
+
+
+class TestNetworkIO:
+    def test_round_trip_preserves_structure(self, small_net, tmp_path):
+        path = tmp_path / "net.txt"
+        save_network(small_net, path)
+        loaded = load_network(path)
+        assert loaded.num_nodes == small_net.num_nodes
+        assert loaded.num_edges == small_net.num_edges
+        assert sorted(
+            (e.u, e.v, e.weight) for e in loaded.edges()
+        ) == sorted((e.u, e.v, e.weight) for e in small_net.edges())
+
+    def test_round_trip_preserves_coordinates(self, small_net, tmp_path):
+        path = tmp_path / "net.txt"
+        save_network(small_net, path)
+        loaded = load_network(path)
+        for node in small_net.nodes():
+            assert loaded.coordinates(node) == small_net.coordinates(node)
+
+    def test_round_trip_preserves_float_weights(self, tmp_path):
+        from repro.network.graph import RoadNetwork
+
+        net = RoadNetwork([(0, 0), (1, 1)])
+        net.add_edge(0, 1, 0.123456789)
+        path = tmp_path / "net.txt"
+        save_network(net, path)
+        assert load_network(path).edge_weight(0, 1) == 0.123456789
+
+    def test_round_trip_preserves_adjacency_order(self, small_net, tmp_path):
+        """Backtracking links address adjacency positions: the reload must
+        reproduce every adjacency list verbatim (regression: an edge-list
+        format loses the order and silently corrupts saved indexes)."""
+        path = tmp_path / "net.txt"
+        save_network(small_net, path)
+        loaded = load_network(path)
+        for node in small_net.nodes():
+            assert loaded.neighbors(node) == small_net.neighbors(node)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("not a network\n")
+        with pytest.raises(GraphError):
+            load_network(path)
+
+    def test_empty_network_round_trip(self, tmp_path):
+        from repro.network.graph import RoadNetwork
+
+        path = tmp_path / "empty.txt"
+        save_network(RoadNetwork(), path)
+        loaded = load_network(path)
+        assert loaded.num_nodes == 0 and loaded.num_edges == 0
+
+
+class TestDatasetIO:
+    def test_round_trip_preserves_order(self, tmp_path):
+        ds = ObjectDataset([30, 10, 20])
+        path = tmp_path / "ds.txt"
+        save_dataset(ds, path)
+        assert load_dataset(path) == ds
+
+    def test_generated_dataset_round_trip(self, small_net, tmp_path):
+        ds = uniform_dataset(small_net, density=0.1, seed=1)
+        path = tmp_path / "ds.txt"
+        save_dataset(ds, path)
+        assert load_dataset(path) == ds
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("garbage\n1\n2\n")
+        with pytest.raises(GraphError):
+            load_dataset(path)

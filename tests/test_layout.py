@@ -1,0 +1,84 @@
+"""Record layouts and size formulas (§3.1, §6.1)."""
+
+import pytest
+
+from repro.storage.layout import (
+    DISTANCE_BYTES,
+    adjacency_record_bits,
+    bits_for_values,
+    build_node_file,
+    fixed_signature_record_bits,
+    full_index_record_bits,
+)
+from repro.storage.pager import PageAccessCounter
+
+
+class TestBitsForValues:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [(0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (32, 5), (33, 6)],
+    )
+    def test_values(self, count, expected):
+        assert bits_for_values(count) == expected
+
+    def test_paper_example_32_categories_in_5_bits(self):
+        """§3.1: '5 bits is enough for 32 categories'."""
+        assert bits_for_values(32) == 5
+
+
+class TestRecordSizes:
+    def test_full_index_is_4_bytes_per_object(self):
+        """§6.1: '4 bytes (an integer) are used for each object'."""
+        assert DISTANCE_BYTES == 4
+        assert full_index_record_bits(100) == 100 * 32
+
+    def test_fixed_signature_formula(self):
+        # 100 objects, 32 categories (5 bits), max degree 8 (3 bits).
+        assert fixed_signature_record_bits(100, 32, 8) == 100 * 8
+
+    def test_adjacency_record_grows_with_degree(self):
+        assert adjacency_record_bits(4) > adjacency_record_bits(2)
+
+    def test_signature_smaller_than_full_index(self):
+        """The core §3.1 storage argument at the record level."""
+        assert fixed_signature_record_bits(100, 32, 8) < full_index_record_bits(100)
+
+
+class TestBuildNodeFile:
+    def test_one_record_per_node(self, small_net):
+        counter = PageAccessCounter()
+        layout = build_node_file(
+            small_net, "t", lambda node: 64, counter=counter
+        )
+        assert layout.file.num_records == small_net.num_nodes
+
+    def test_records_keyed_by_node_id(self, small_net):
+        counter = PageAccessCounter()
+        layout = build_node_file(
+            small_net, "t", lambda node: 64, counter=counter
+        )
+        for node in small_net.nodes():
+            layout.file.locate(node)  # must not raise
+
+    def test_sequence_sizes_accepted(self, small_net):
+        counter = PageAccessCounter()
+        sizes = [8 * (1 + node % 3) for node in small_net.nodes()]
+        layout = build_node_file(small_net, "t", sizes, counter=counter)
+        assert layout.file.payload_bits == sum(sizes)
+
+    def test_order_is_ccam_by_default(self, small_net):
+        from repro.storage.ccam import ccam_order
+
+        counter = PageAccessCounter()
+        layout = build_node_file(
+            small_net, "t", lambda node: 8, counter=counter
+        )
+        assert layout.order == ccam_order(small_net, strategy="ccam")
+
+    def test_reads_charge_shared_counter(self, small_net):
+        counter = PageAccessCounter()
+        layout = build_node_file(
+            small_net, "t", lambda node: 8, counter=counter
+        )
+        layout.file.read(0)
+        assert counter.logical_reads >= 1

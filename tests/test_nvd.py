@@ -1,0 +1,143 @@
+"""The Network Voronoi Diagram substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.nvd import NetworkVoronoiDiagram
+from repro.errors import IndexError_
+from repro.network.datasets import ObjectDataset
+
+
+@pytest.fixture(scope="module")
+def nvd(small_net, small_objs):
+    return NetworkVoronoiDiagram.build(small_net, small_objs)
+
+
+class TestCellAssignment:
+    def test_every_node_in_exactly_one_cell(self, nvd, small_net):
+        counts = np.zeros(small_net.num_nodes, dtype=int)
+        for cell in nvd.cells:
+            for node in cell.nodes:
+                counts[node] += 1
+        assert (counts == 1).all()
+
+    def test_owner_is_nearest_object(self, nvd, ground_truth):
+        for node in range(nvd.network.num_nodes):
+            rank = int(nvd.owner_rank[node])
+            best = float(ground_truth[:, node].min())
+            assert ground_truth[rank, node] == best
+            assert nvd.distance_to_owner[node] == best
+
+    def test_generators_own_their_cells(self, nvd):
+        for cell in nvd.cells:
+            assert nvd.owner_rank[cell.generator] == cell.rank
+            assert cell.generator in cell.nodes
+
+
+class TestBorders:
+    def test_border_nodes_have_foreign_neighbors(self, nvd):
+        for cell in nvd.cells:
+            for border in cell.border_nodes:
+                owners = {
+                    int(nvd.owner_rank[nbr])
+                    for nbr, _ in nvd.network.neighbors(border)
+                }
+                assert owners - {cell.rank}
+
+    def test_non_border_nodes_are_interior(self, nvd):
+        for cell in nvd.cells:
+            borders = set(cell.border_nodes)
+            for node in cell.nodes:
+                if node in borders:
+                    continue
+                owners = {
+                    int(nvd.owner_rank[nbr])
+                    for nbr, _ in nvd.network.neighbors(node)
+                }
+                assert owners == {cell.rank}
+
+    def test_adjacency_is_symmetric(self, nvd):
+        for cell in nvd.cells:
+            for other in cell.adjacent_cells:
+                assert cell.rank in nvd.cells[other].adjacent_cells
+
+
+class TestPrecomputedDistances:
+    def test_inner_to_border_at_least_true_distance(self, nvd, small_net):
+        """Restricted distances can only exceed the unrestricted ones."""
+        from repro.network.dijkstra import shortest_path_tree
+
+        cell = max(nvd.cells, key=lambda c: len(c.border_nodes))
+        for border in cell.border_nodes[:3]:
+            tree = shortest_path_tree(small_net, border)
+            for node in cell.nodes:
+                if border in nvd.inner_to_border[node]:
+                    assert (
+                        nvd.inner_to_border[node][border]
+                        >= tree.distance[node] - 1e-9
+                    )
+
+    def test_border_graph_edges_are_valid_distances(self, nvd, small_net):
+        from repro.network.dijkstra import shortest_path_distance
+
+        checked = 0
+        for border, edges in nvd.border_graph.items():
+            for other, distance in edges[:2]:
+                assert distance >= shortest_path_distance(
+                    small_net, border, other
+                ) - 1e-9
+                checked += 1
+            if checked > 20:
+                break
+        assert checked > 0
+
+    def test_inner_rows_cover_own_cell_borders_when_connected(self, nvd):
+        for cell in nvd.cells[:3]:
+            borders = set(cell.border_nodes)
+            for node in cell.nodes[:10]:
+                assert set(nvd.inner_to_border[node]) <= borders
+
+
+class TestSizeModel:
+    def test_cell_record_bits_grow_with_borders(self, nvd):
+        cells = sorted(nvd.cells, key=lambda c: len(c.border_nodes))
+        if len(cells) >= 2 and len(cells[0].border_nodes) != len(
+            cells[-1].border_nodes
+        ):
+            assert nvd.cell_record_bits(cells[0].rank) < nvd.cell_record_bits(
+                cells[-1].rank
+            )
+
+    def test_sparser_dataset_bigger_tables(self, small_net, small_objs):
+        """Fig 6.4(a): NVD size increases as density p decreases."""
+        sparse = NetworkVoronoiDiagram.build(
+            small_net, ObjectDataset(list(small_objs)[:3])
+        )
+        dense = NetworkVoronoiDiagram.build(small_net, small_objs)
+
+        def total_bits(nvd):
+            return sum(
+                nvd.cell_record_bits(c.rank) for c in nvd.cells
+            ) + sum(
+                nvd.inner_record_bits(v) for v in nvd.network.nodes()
+            )
+
+        assert total_bits(sparse) > total_bits(dense)
+
+    def test_empty_dataset_rejected(self, small_net):
+        with pytest.raises(IndexError_):
+            NetworkVoronoiDiagram.build(small_net, ObjectDataset([]))
+
+    def test_total_border_nodes(self, nvd):
+        assert nvd.total_border_nodes() == sum(
+            len(c.border_nodes) for c in nvd.cells
+        )
+
+    def test_single_object_has_no_borders(self, small_net):
+        nvd = NetworkVoronoiDiagram.build(small_net, ObjectDataset([0]))
+        assert nvd.total_border_nodes() == 0
+        assert math.isinf(
+            nvd.inner_to_border[5].get(99, math.inf)
+        )  # no rows at all

@@ -1,0 +1,314 @@
+"""Query processing on signatures (§4): range, kNN, aggregation, ε-join."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnnType, SignatureIndex
+from repro.errors import QueryError
+from repro.network.datasets import ObjectDataset, uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def sample_nodes(small_net):
+    rng = np.random.default_rng(8)
+    return [int(v) for v in rng.choice(small_net.num_nodes, 20, replace=False)]
+
+
+def truth_within(ground_truth, dataset, node, radius):
+    return sorted(
+        dataset[rank]
+        for rank in range(len(dataset))
+        if ground_truth[rank, node] <= radius
+    )
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("radius", [0.0, 5.0, 20.0, 60.0, 1e6])
+    def test_matches_ground_truth(
+        self, sig_index, ground_truth, sample_nodes, radius
+    ):
+        for node in sample_nodes:
+            expected = truth_within(
+                ground_truth, sig_index.dataset, node, radius
+            )
+            assert sorted(sig_index.range_query(node, radius)) == expected
+
+    def test_boundary_distance_included(self, sig_index, ground_truth):
+        """An object at exactly radius distance belongs to the result."""
+        node = 0
+        rank = int(np.argmin(ground_truth[:, node]))
+        exact = float(ground_truth[rank, node])
+        if exact == 0:
+            pytest.skip("query node is an object")
+        assert sig_index.dataset[rank] in sig_index.range_query(node, exact)
+        just_below = sig_index.range_query(node, exact - 1e-9)
+        assert sig_index.dataset[rank] not in just_below or any(
+            ground_truth[r, node] == exact
+            for r in range(len(sig_index.dataset))
+            if sig_index.dataset[r] in just_below
+        )
+
+    def test_with_distances(self, sig_index, ground_truth, sample_nodes):
+        node = sample_nodes[0]
+        pairs = sig_index.range_query(node, 50.0, with_distances=True)
+        for object_node, distance in pairs:
+            rank = sig_index.dataset.rank(object_node)
+            assert distance == ground_truth[rank, node]
+
+    def test_negative_radius_rejected(self, sig_index):
+        with pytest.raises(QueryError):
+            sig_index.range_query(0, -1.0)
+
+    def test_query_at_object_node_includes_itself(self, sig_index):
+        obj = sig_index.dataset[0]
+        assert obj in sig_index.range_query(obj, 0.0)
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 2, 5, 11])
+    def test_type3_returns_a_valid_knn_set(
+        self, sig_index, ground_truth, sample_nodes, k
+    ):
+        for node in sample_nodes:
+            result = sig_index.knn(node, k)
+            assert len(result) == min(k, len(sig_index.dataset))
+            result_dists = sorted(
+                ground_truth[sig_index.dataset.rank(obj), node]
+                for obj in result
+            )
+            all_dists = sorted(ground_truth[:, node])
+            # A valid kNN set: element-wise equal to the k smallest
+            # distances (ties make the *sets* non-unique, distances not).
+            assert result_dists == all_dists[: len(result)]
+
+    def test_type2_orders_by_distance(self, sig_index, ground_truth, sample_nodes):
+        for node in sample_nodes[:8]:
+            result = sig_index.knn(node, 6, knn_type=KnnType.ORDERED)
+            dists = [
+                ground_truth[sig_index.dataset.rank(obj), node] for obj in result
+            ]
+            assert dists == sorted(dists)
+
+    def test_type1_returns_exact_distances(
+        self, sig_index, ground_truth, sample_nodes
+    ):
+        for node in sample_nodes[:8]:
+            result = sig_index.knn(
+                node, 6, knn_type=KnnType.EXACT_DISTANCES
+            )
+            for object_node, distance in result:
+                rank = sig_index.dataset.rank(object_node)
+                assert distance == ground_truth[rank, node]
+            dists = [d for _, d in result]
+            assert dists == sorted(dists)
+
+    def test_k_exceeding_dataset_returns_all(self, sig_index):
+        result = sig_index.knn(0, 10_000)
+        assert sorted(result) == sorted(sig_index.dataset)
+
+    def test_k_zero_rejected(self, sig_index):
+        with pytest.raises(QueryError):
+            sig_index.knn(0, 0)
+
+    def test_query_on_object_finds_itself_first(self, sig_index):
+        obj = sig_index.dataset[4]
+        result = sig_index.knn(obj, 1, knn_type=KnnType.EXACT_DISTANCES)
+        assert result == [(obj, 0.0)]
+
+
+class TestApproximateKnn:
+    def test_zero_backtracking_io(self, sig_index, sample_nodes):
+        """The whole point: one signature record per query."""
+        node = sample_nodes[0]
+        sig_index.reset_counters()
+        sig_index.knn_approximate(node, 5)
+        record_pages = sig_index._signature_layout.file.locate(node).num_pages
+        assert sig_index.counter.logical_reads == record_pages
+
+    def test_returns_k_objects(self, sig_index, sample_nodes):
+        for node in sample_nodes[:5]:
+            result = sig_index.knn_approximate(node, 4)
+            assert len(result) == 4
+            assert len(set(result)) == 4
+
+    def test_errors_bounded_by_boundary_category(
+        self, sig_index, ground_truth, sample_nodes
+    ):
+        """Every returned object's distance lies within the true k-th
+        neighbor's category band (the precision contract)."""
+        k = 4
+        for node in sample_nodes:
+            result = sig_index.knn_approximate(node, k)
+            kth_true = sorted(ground_truth[:, node])[k - 1]
+            boundary = sig_index.partition.categorize(kth_true)
+            _, band_ub = sig_index.partition.bounds(boundary)
+            for obj in result:
+                rank = sig_index.dataset.rank(obj)
+                assert ground_truth[rank, node] < band_ub or (
+                    ground_truth[rank, node] == band_ub
+                )
+
+    def test_recall_is_high(self, sig_index, ground_truth, sample_nodes):
+        """Observer voting beats guessing: most of the true kNN appear."""
+        k = 5
+        hits = 0
+        total = 0
+        for node in sample_nodes:
+            approx = {
+                sig_index.dataset.rank(obj)
+                for obj in sig_index.knn_approximate(node, k)
+            }
+            order = sorted(
+                range(len(sig_index.dataset)),
+                key=lambda rank: (ground_truth[rank, node], rank),
+            )
+            exact = set(order[:k])
+            hits += len(approx & exact)
+            total += k
+        # With only ~5 coarse categories at this scale, boundary buckets
+        # are large; 0.6 is still far above the chance level of picking
+        # within the boundary bucket arbitrarily.
+        assert hits / total > 0.6
+
+    def test_k_zero_rejected(self, sig_index):
+        with pytest.raises(QueryError):
+            sig_index.knn_approximate(0, 0)
+
+    def test_k_exceeding_dataset(self, sig_index):
+        result = sig_index.knn_approximate(0, 10_000)
+        assert sorted(result) == sorted(sig_index.dataset)
+
+
+class TestAggregates:
+    def test_count(self, sig_index, ground_truth, sample_nodes):
+        node = sample_nodes[1]
+        radius = 45.0
+        expected = sum(
+            1 for rank in range(len(sig_index.dataset))
+            if ground_truth[rank, node] <= radius
+        )
+        assert sig_index.aggregate_range(node, radius, "count") == expected
+
+    def test_sum_and_mean(self, sig_index, ground_truth, sample_nodes):
+        node = sample_nodes[2]
+        radius = 60.0
+        dists = [
+            float(ground_truth[rank, node])
+            for rank in range(len(sig_index.dataset))
+            if ground_truth[rank, node] <= radius
+        ]
+        assert sig_index.aggregate_range(node, radius, "sum") == sum(dists)
+        if dists:
+            assert sig_index.aggregate_range(node, radius, "mean") == (
+                pytest.approx(sum(dists) / len(dists))
+            )
+
+    def test_min_of_empty_range_is_inf(self, sig_index, ground_truth):
+        import math
+
+        node = int(np.argmax(ground_truth.min(axis=0)))
+        nearest = float(ground_truth[:, node].min())
+        if nearest == 0:
+            pytest.skip("every node co-hosts an object")
+        value = sig_index.aggregate_range(node, nearest / 2, "min")
+        assert math.isinf(value)
+
+    def test_unknown_aggregate_rejected(self, sig_index):
+        with pytest.raises(QueryError):
+            sig_index.aggregate_range(0, 10.0, "median")
+
+
+class TestEpsilonJoin:
+    @pytest.fixture(scope="class")
+    def second_index(self, small_net):
+        other = uniform_dataset(small_net, density=0.03, seed=99)
+        return SignatureIndex.build(small_net, other, backend="scipy")
+
+    def test_join_matches_pairwise_truth(self, sig_index, second_index, small_net):
+        from repro.network.dijkstra import shortest_path_tree
+
+        epsilon = 30.0
+        pairs = set(sig_index.epsilon_join(second_index, epsilon))
+        expected = set()
+        for a in sig_index.dataset:
+            tree = shortest_path_tree(small_net, a)
+            for b in second_index.dataset:
+                if tree.distance[b] <= epsilon:
+                    expected.add((a, b))
+        assert pairs == expected
+
+    def test_self_join_reports_each_pair_once(self, sig_index, small_net):
+        from repro.network.dijkstra import shortest_path_tree
+
+        epsilon = 40.0
+        pairs = sig_index.epsilon_join(sig_index, epsilon)
+        assert len(pairs) == len(set(pairs))
+        for a, b in pairs:
+            assert a != b
+            assert sig_index.dataset.rank(a) < sig_index.dataset.rank(b)
+            tree = shortest_path_tree(small_net, a)
+            assert tree.distance[b] <= epsilon
+
+    def test_join_on_different_networks_rejected(self, sig_index):
+        from repro.network.generators import grid_network
+
+        other_net = grid_network(3, 3)
+        other = SignatureIndex.build(
+            other_net, ObjectDataset([0]), backend="python"
+        )
+        with pytest.raises(QueryError):
+            sig_index.epsilon_join(other, 5.0)
+
+    def test_negative_epsilon_rejected(self, sig_index):
+        with pytest.raises(QueryError):
+            sig_index.epsilon_join(sig_index, -1.0)
+
+
+class TestKnnJoin:
+    @pytest.fixture(scope="class")
+    def second_index(self, small_net):
+        other = uniform_dataset(small_net, density=0.03, seed=99)
+        return SignatureIndex.build(small_net, other, backend="scipy")
+
+    def test_join_matches_per_object_knn(self, sig_index, second_index, small_net):
+        from repro.network.dijkstra import shortest_path_tree
+
+        k = 3
+        joined = sig_index.knn_join(second_index, k)
+        assert len(joined) == len(sig_index.dataset)
+        for node_a, neighbors in joined:
+            tree = shortest_path_tree(small_net, node_a)
+            expected = sorted(tree.distance[b] for b in second_index.dataset)[:k]
+            got = sorted(tree.distance[b] for b in neighbors)
+            assert got == expected
+
+    def test_self_join_excludes_self(self, sig_index):
+        joined = sig_index.knn_join(sig_index, 2)
+        for node_a, neighbors in joined:
+            assert node_a not in neighbors
+            assert len(neighbors) == 2
+
+    def test_self_join_finds_true_nearest_other(self, sig_index, small_net):
+        from repro.network.dijkstra import shortest_path_tree
+
+        joined = sig_index.knn_join(sig_index, 1)
+        for node_a, (nearest,) in joined:
+            tree = shortest_path_tree(small_net, node_a)
+            best = min(
+                tree.distance[b] for b in sig_index.dataset if b != node_a
+            )
+            assert tree.distance[nearest] == best
+
+    def test_k_zero_rejected(self, sig_index):
+        with pytest.raises(QueryError):
+            sig_index.knn_join(sig_index, 0)
+
+    def test_different_networks_rejected(self, sig_index):
+        from repro.network.generators import grid_network
+
+        other_net = grid_network(3, 3)
+        other = SignatureIndex.build(
+            other_net, ObjectDataset([0]), backend="python"
+        )
+        with pytest.raises(QueryError):
+            sig_index.knn_join(other, 1)

@@ -1,0 +1,79 @@
+"""Network statistics module."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network.graph import RoadNetwork
+from repro.network.stats import (
+    network_stats,
+    sample_distance_stats,
+)
+
+
+class TestNetworkStats:
+    def test_counts(self, small_net):
+        stats = network_stats(small_net)
+        assert stats.num_nodes == small_net.num_nodes
+        assert stats.num_edges == small_net.num_edges
+        assert stats.max_degree == small_net.max_degree()
+
+    def test_mean_degree_formula(self, small_net):
+        stats = network_stats(small_net)
+        assert stats.mean_degree == pytest.approx(
+            2 * small_net.num_edges / small_net.num_nodes
+        )
+
+    def test_degree_histogram_sums_to_nodes(self, small_net):
+        stats = network_stats(small_net)
+        assert sum(stats.degree_histogram.values()) == small_net.num_nodes
+
+    def test_weight_range(self, small_net):
+        stats = network_stats(small_net)
+        assert 1.0 <= stats.min_weight <= stats.mean_weight <= stats.max_weight <= 10.0
+
+    def test_components(self, small_net):
+        assert network_stats(small_net).num_components == 1
+        disconnected = RoadNetwork([(0, 0), (1, 0), (9, 9)])
+        disconnected.add_edge(0, 1, 1.0)
+        assert network_stats(disconnected).num_components == 2
+
+    def test_describe_is_readable(self, grid5):
+        text = network_stats(grid5).describe()
+        assert "nodes:" in text and "degree histogram:" in text
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(GraphError):
+            network_stats(RoadNetwork())
+
+
+class TestDistanceStats:
+    def test_keys_and_ordering(self, small_net, small_objs):
+        stats = sample_distance_stats(small_net, small_objs, seed=1)
+        assert stats["count"] > 0
+        assert 0 <= stats["median"] <= stats["p90"] <= stats["max"]
+
+    def test_deterministic(self, small_net, small_objs):
+        a = sample_distance_stats(small_net, small_objs, seed=2)
+        b = sample_distance_stats(small_net, small_objs, seed=2)
+        assert a == b
+
+    def test_empty_dataset_rejected(self, small_net):
+        from repro.network.datasets import ObjectDataset
+
+        with pytest.raises(GraphError):
+            sample_distance_stats(small_net, ObjectDataset([]))
+
+
+class TestCliNetworkInfo:
+    def test_command_prints_stats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        net = tmp_path / "n.txt"
+        ds = tmp_path / "d.txt"
+        main(["generate-network", str(net), "--nodes", "150", "--seed", "2"])
+        main(["generate-dataset", str(net), str(ds), "--density", "0.05"])
+        capsys.readouterr()
+        assert main(["network-info", str(net), "--dataset", str(ds)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out
+        assert "distance sample:" in out

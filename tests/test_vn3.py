@@ -1,0 +1,116 @@
+"""VN³ query processing over the NVD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VN3Index
+from repro.errors import QueryError
+from repro.network.datasets import ObjectDataset
+
+
+@pytest.fixture(scope="module")
+def sample_nodes(small_net):
+    rng = np.random.default_rng(12)
+    return [int(v) for v in rng.choice(small_net.num_nodes, 20, replace=False)]
+
+
+class TestFirstNN:
+    def test_matches_ground_truth(self, vn3_index, ground_truth, sample_nodes):
+        for node in sample_nodes:
+            obj, distance = vn3_index.first_nn(node)
+            rank = vn3_index.dataset.rank(obj)
+            assert distance == ground_truth[:, node].min()
+            assert ground_truth[rank, node] == distance
+
+    def test_first_nn_is_cheap(self, vn3_index):
+        """k=1 is a point location: a handful of pages (Fig 6.6's k=1 win)."""
+        vn3_index.reset_counters()
+        vn3_index.first_nn(0)
+        assert vn3_index.counter.logical_reads <= 5
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 2, 5, 11])
+    def test_distances_match_ground_truth(
+        self, vn3_index, ground_truth, sample_nodes, k
+    ):
+        for node in sample_nodes:
+            result = vn3_index.knn(node, k)
+            dists = [d for _, d in result]
+            assert dists == sorted(ground_truth[:, node])[:k]
+
+    def test_each_result_distance_exact(
+        self, vn3_index, ground_truth, sample_nodes
+    ):
+        for node in sample_nodes[:8]:
+            for obj, distance in vn3_index.knn(node, 5):
+                rank = vn3_index.dataset.rank(obj)
+                assert distance == ground_truth[rank, node]
+
+    def test_cost_grows_with_k(self, vn3_index, sample_nodes):
+        """Fig 6.6: VN³ 'degrades sharply' as k grows."""
+        total_small = 0
+        total_large = 0
+        for node in sample_nodes:
+            vn3_index.reset_counters()
+            vn3_index.knn(node, 1)
+            total_small += vn3_index.counter.logical_reads
+            vn3_index.reset_counters()
+            vn3_index.knn(node, len(vn3_index.dataset))
+            total_large += vn3_index.counter.logical_reads
+        assert total_large > total_small
+
+    def test_k_zero_rejected(self, vn3_index):
+        with pytest.raises(QueryError):
+            vn3_index.knn(0, 0)
+
+    def test_k_exceeding_dataset(self, vn3_index):
+        result = vn3_index.knn(0, 10_000)
+        assert len(result) == len(vn3_index.dataset)
+
+
+class TestRange:
+    @pytest.mark.parametrize("radius", [0.0, 10.0, 40.0, 1e6])
+    def test_matches_ground_truth(
+        self, vn3_index, ground_truth, sample_nodes, radius
+    ):
+        for node in sample_nodes:
+            expected = sorted(
+                vn3_index.dataset[rank]
+                for rank in range(len(vn3_index.dataset))
+                if ground_truth[rank, node] <= radius
+            )
+            result = sorted(obj for obj, _ in vn3_index.range_query(node, radius))
+            assert result == expected
+
+    def test_negative_radius_rejected(self, vn3_index):
+        with pytest.raises(QueryError):
+            vn3_index.range_query(0, -0.5)
+
+    def test_cost_grows_with_radius(self, vn3_index, sample_nodes):
+        """Fig 6.5: the NVD range algorithm visits more NVPs as R grows."""
+        total_small = 0
+        total_large = 0
+        for node in sample_nodes:
+            vn3_index.reset_counters()
+            vn3_index.range_query(node, 5.0)
+            total_small += vn3_index.counter.logical_reads
+            vn3_index.reset_counters()
+            vn3_index.range_query(node, 200.0)
+            total_large += vn3_index.counter.logical_reads
+        assert total_large > total_small
+
+
+class TestDegenerate:
+    def test_single_object_dataset(self, small_net):
+        index = VN3Index.build(small_net, ObjectDataset([7]))
+        obj, distance = index.first_nn(0)
+        assert obj == 7
+        result = index.knn(0, 3)
+        assert [o for o, _ in result] == [7]
+        assert index.range_query(0, 1e9) == [(7, distance)]
+
+    def test_size_accounting(self, vn3_index):
+        breakdown = vn3_index.size_breakdown()
+        assert vn3_index.size_bytes == sum(breakdown.values())
+        assert breakdown["inner_to_border"] > 0

@@ -1,0 +1,85 @@
+"""Mixed workload generation and dispatch."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workloads.queries import (
+    QUERY_KINDS,
+    QuerySpec,
+    execute_query,
+    make_mixed_workload,
+)
+
+
+class TestGeneration:
+    def test_count_and_kinds(self, small_net, small_objs):
+        specs = make_mixed_workload(
+            small_net, 50, seed=1, num_objects=len(small_objs)
+        )
+        assert len(specs) == 50
+        assert {spec.kind for spec in specs} <= set(QUERY_KINDS)
+
+    def test_deterministic(self, small_net, small_objs):
+        a = make_mixed_workload(small_net, 30, seed=2, num_objects=len(small_objs))
+        b = make_mixed_workload(small_net, 30, seed=2, num_objects=len(small_objs))
+        assert a == b
+
+    def test_mix_weights_respected(self, small_net, small_objs):
+        specs = make_mixed_workload(
+            small_net,
+            80,
+            seed=3,
+            num_objects=len(small_objs),
+            mix={"knn": 1.0},
+        )
+        assert all(spec.kind == "knn" for spec in specs)
+
+    def test_nodes_and_parameters_valid(self, small_net, small_objs):
+        specs = make_mixed_workload(
+            small_net, 60, seed=4, num_objects=len(small_objs), ks=(1, 500)
+        )
+        for spec in specs:
+            assert 0 <= spec.node < small_net.num_nodes
+            if spec.kind == "knn":
+                assert 1 <= spec.parameter <= len(small_objs)
+            if spec.kind == "distance":
+                assert 0 <= spec.parameter < len(small_objs)
+
+    def test_invalid_arguments(self, small_net, small_objs):
+        with pytest.raises(QueryError):
+            make_mixed_workload(small_net, 0, seed=1, num_objects=5)
+        with pytest.raises(QueryError):
+            make_mixed_workload(small_net, 5, seed=1, num_objects=0)
+        with pytest.raises(QueryError):
+            make_mixed_workload(
+                small_net, 5, seed=1, num_objects=5, mix={"teleport": 1.0}
+            )
+        with pytest.raises(QueryError):
+            make_mixed_workload(
+                small_net, 5, seed=1, num_objects=5, mix={"knn": 0.0}
+            )
+
+
+class TestExecution:
+    def test_each_kind_dispatches(self, sig_index, ground_truth):
+        results = {
+            "distance": execute_query(sig_index, QuerySpec("distance", 3, 0.0)),
+            "range": execute_query(sig_index, QuerySpec("range", 3, 40.0)),
+            "knn": execute_query(sig_index, QuerySpec("knn", 3, 2.0)),
+            "aggregate": execute_query(sig_index, QuerySpec("aggregate", 3, 40.0)),
+        }
+        assert results["distance"] == ground_truth[0, 3]
+        assert isinstance(results["range"], list)
+        assert len(results["knn"]) == 2
+        assert results["aggregate"] == len(results["range"])
+
+    def test_unknown_kind_rejected(self, sig_index):
+        with pytest.raises(QueryError):
+            execute_query(sig_index, QuerySpec("teleport", 0, 1.0))
+
+    def test_full_workload_runs(self, sig_index, small_net, small_objs):
+        specs = make_mixed_workload(
+            small_net, 40, seed=5, num_objects=len(small_objs)
+        )
+        for spec in specs:
+            execute_query(sig_index, spec)  # must not raise
