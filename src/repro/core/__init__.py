@@ -5,6 +5,7 @@ Module map (paper section → module):
 * §3.1 signature + storage schema → :mod:`repro.core.signature`
 * §3.2 retrieval / comparison / sorting → :mod:`repro.core.operations`
 * §4 range / kNN / aggregation / ε-join → :mod:`repro.core.queries`
+  (scalar reference) and :mod:`repro.core.vectorized` (batch engine)
 * §5.1 category partition → :mod:`repro.core.categories`
 * §5.2 construction + encoding → :mod:`repro.core.builder`,
   :mod:`repro.core.encoding`
@@ -57,6 +58,11 @@ from repro.core.signature import (
 )
 from repro.core.spanning_tree import ObjectSpanningTrees
 from repro.core.update import UpdateReport
+from repro.core.vectorized import (
+    DecodedSignatureCache,
+    decode_signature_row,
+    decode_signature_rows,
+)
 
 __all__ = [
     "SignatureIndex",
@@ -88,6 +94,9 @@ __all__ = [
     "resolve_component",
     "signature_summation",
     "UpdateReport",
+    "DecodedSignatureCache",
+    "decode_signature_row",
+    "decode_signature_rows",
     "rzp_code",
     "rzp_code_length",
     "rzp_decode",

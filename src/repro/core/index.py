@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core import operations, queries, update
+from repro.core import operations, queries, update, vectorized
 from repro.core.builder import (
     assemble_signature_data,
     run_construction_sweep,
@@ -59,6 +59,7 @@ from repro.storage.pager import DEFAULT_PAGE_SIZE, PageAccessCounter
 __all__ = ["SignatureIndex", "IndexStorageReport"]
 
 _SIZE_KINDS = ("raw", "encoded", "compressed")
+_QUERY_ENGINES = ("vectorized", "scalar")
 
 
 @dataclass(frozen=True, slots=True)
@@ -129,10 +130,16 @@ class SignatureIndex:
         storage_schema: str = "separate",
         stored_kind: str = "compressed",
         buffer_pool: LRUBufferPool | None = None,
+        query_engine: str = "vectorized",
     ) -> None:
         if stored_kind not in _SIZE_KINDS:
             raise IndexError_(
                 f"stored_kind must be one of {_SIZE_KINDS}, got {stored_kind!r}"
+            )
+        if query_engine not in _QUERY_ENGINES:
+            raise IndexError_(
+                f"query_engine must be one of {_QUERY_ENGINES}, got "
+                f"{query_engine!r}"
             )
         self.network = network
         self.dataset = dataset
@@ -147,6 +154,8 @@ class SignatureIndex:
         self.counter = PageAccessCounter()
         self.buffer_pool = buffer_pool
         self.decompressions = 0
+        self.query_engine = query_engine
+        self.decoded = vectorized.DecodedSignatureCache()
         self._signature_dirty_nodes: set[int] = set()
         self._build_storage()
 
@@ -168,6 +177,8 @@ class SignatureIndex:
         storage_strategy: str = "ccam",
         storage_schema: str = "separate",
         buffer_pool: LRUBufferPool | None = None,
+        query_engine: str = "vectorized",
+        workers: int | None = None,
     ) -> "SignatureIndex":
         """Construct the index per §5.2 (+ §5.3 compression by default).
 
@@ -186,7 +197,7 @@ class SignatureIndex:
         needed for §5.4 incremental updates.
         """
         tree_distances, tree_parents = run_construction_sweep(
-            network, dataset, backend=backend
+            network, dataset, backend=backend, workers=workers
         )
         if partition is None or isinstance(partition, str):
             finite = tree_distances[np.isfinite(tree_distances)]
@@ -234,6 +245,7 @@ class SignatureIndex:
             storage_schema=storage_schema,
             stored_kind="compressed" if compress else "encoded",
             buffer_pool=buffer_pool,
+            query_engine=query_engine,
         )
         index.compression_stats = stats
         return index
@@ -299,10 +311,43 @@ class SignatureIndex:
                 f"'separate' or 'merged'"
             )
         self._signature_dirty_nodes.clear()
+        # Re-packing follows structural change (updates, growth): decoded
+        # rows and the object category matrix may both be stale.
+        self.decoded.clear()
 
     def refresh_storage(self) -> None:
         """Re-pack the paged files after incremental updates changed sizes."""
         self._build_storage()
+
+    # ------------------------------------------------------------------
+    # decoded-signature cache (vectorized engine)
+    # ------------------------------------------------------------------
+    def enable_decoded_cache(self, capacity: int | None = None) -> None:
+        """Opt in to memoizing decoded signature rows.
+
+        ``capacity`` caps the number of cached rows (LRU eviction);
+        ``None`` means unbounded.  The cache is invalidated explicitly by
+        the §5.4 update machinery and cleared wholesale whenever storage
+        is re-packed, so cached answers never go stale.
+        """
+        self.decoded = vectorized.DecodedSignatureCache(capacity)
+        self.decoded.row_caching = True
+
+    def disable_decoded_cache(self) -> None:
+        """Drop all memoized rows and stop caching new ones."""
+        self.decoded = vectorized.DecodedSignatureCache()
+
+    def invalidate_decoded(
+        self, nodes=None, *, objects: bool = False
+    ) -> None:
+        """Evict decoded rows for ``nodes`` (all rows when ``None``).
+
+        With ``objects=True`` the object category matrix is dropped too —
+        required whenever the object-to-object distance table changed.
+        """
+        if objects:
+            self.decoded.invalidate_objects()
+        self.decoded.invalidate(nodes)
 
     # ------------------------------------------------------------------
     # SignatureIndexProtocol (I/O-charged primitives)
@@ -364,6 +409,11 @@ class SignatureIndex:
     # ------------------------------------------------------------------
     # queries (§4)
     # ------------------------------------------------------------------
+    @property
+    def _queries(self):
+        """The active query implementation module (engine dispatch)."""
+        return vectorized if self.query_engine == "vectorized" else queries
+
     def range_query(
         self, node: int, radius: float, *, with_distances: bool = False
     ):
@@ -372,12 +422,41 @@ class SignatureIndex:
         Returns object node ids — or ``(object_node, distance)`` pairs
         with ``with_distances``.
         """
-        result = queries.range_query(
+        result = self._queries.range_query(
             self, node, radius, with_distances=with_distances
         )
         if with_distances:
             return [(self.dataset[rank], d) for rank, d in result]
         return [self.dataset[rank] for rank in result]
+
+    def range_query_batch(
+        self, nodes, radius: float, *, with_distances: bool = False
+    ):
+        """One range query per node of ``nodes``, in one vectorized pass.
+
+        Returns a list (aligned with ``nodes``) of per-query results in
+        the same shape :meth:`range_query` produces.  Available on either
+        engine; the scalar engine simply loops.
+        """
+        if self.query_engine == "vectorized":
+            batched = vectorized.range_query_batch(
+                self, nodes, radius, with_distances=with_distances
+            )
+        else:
+            batched = [
+                queries.range_query(
+                    self, int(node), radius, with_distances=with_distances
+                )
+                for node in nodes
+            ]
+        if with_distances:
+            return [
+                [(self.dataset[rank], d) for rank, d in result]
+                for result in batched
+            ]
+        return [
+            [self.dataset[rank] for rank in result] for result in batched
+        ]
 
     def knn(self, node: int, k: int, *, knn_type: KnnType = KnnType.SET):
         """The k nearest objects to ``node`` (Algorithm 6), as nodes.
@@ -385,10 +464,30 @@ class SignatureIndex:
         Type 1 returns ``(object_node, distance)`` pairs in ascending
         order; types 2/3 return object node lists (ordered / unordered).
         """
-        result = queries.knn_query(self, node, k, knn_type=knn_type)
+        result = self._queries.knn_query(self, node, k, knn_type=knn_type)
         if knn_type is KnnType.EXACT_DISTANCES:
             return [(self.dataset[rank], d) for rank, d in result]
         return [self.dataset[rank] for rank in result]
+
+    def knn_batch(self, nodes, k: int, *, knn_type: KnnType = KnnType.SET):
+        """One kNN query per node of ``nodes``, in one vectorized pass."""
+        if self.query_engine == "vectorized":
+            batched = vectorized.knn_query_batch(
+                self, nodes, k, knn_type=knn_type
+            )
+        else:
+            batched = [
+                queries.knn_query(self, int(node), k, knn_type=knn_type)
+                for node in nodes
+            ]
+        if knn_type is KnnType.EXACT_DISTANCES:
+            return [
+                [(self.dataset[rank], d) for rank, d in result]
+                for result in batched
+            ]
+        return [
+            [self.dataset[rank] for rank in result] for result in batched
+        ]
 
     def knn_approximate(self, node: int, k: int) -> list[int]:
         """Approximate kNN from the signature alone — one record of I/O.
@@ -404,7 +503,7 @@ class SignatureIndex:
         self, node: int, radius: float, aggregate: str = "count"
     ) -> float:
         """Aggregate over the objects within ``radius`` of ``node`` (§4.3)."""
-        return queries.aggregate_range(self, node, radius, aggregate)
+        return self._queries.aggregate_range(self, node, radius, aggregate)
 
     def epsilon_join(
         self, other: "SignatureIndex", epsilon: float
@@ -413,7 +512,7 @@ class SignatureIndex:
 
         Returns ``(node_a, node_b)`` object-node pairs.
         """
-        pairs = queries.epsilon_join(self, other, epsilon)
+        pairs = self._queries.epsilon_join(self, other, epsilon)
         return [
             (self.dataset[rank_a], other.dataset[rank_b])
             for rank_a, rank_b in pairs
@@ -427,7 +526,7 @@ class SignatureIndex:
         Returns ``(node_a, [node_b, ...])`` pairs: each of this dataset's
         objects with its k nearest objects of ``other``.
         """
-        joined = queries.knn_join(self, other, k)
+        joined = self._queries.knn_join(self, other, k)
         return [
             (self.dataset[rank_a], [other.dataset[r] for r in ranks])
             for rank_a, ranks in joined

@@ -18,12 +18,14 @@ belongs to the range-ε result.
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from collections.abc import Callable
 
 from repro.core.operations import (
     Backtracker,
     SignatureIndexProtocol,
+    compare_approximate,
     retrieve_distance,
     sort_by_distance,
 )
@@ -205,10 +207,6 @@ def approximate_knn_query(
         if len(bucket) <= remaining:
             result.extend(bucket)
             continue
-        import functools
-
-        from repro.core.operations import compare_approximate
-
         ordered = sorted(
             bucket,
             key=functools.cmp_to_key(

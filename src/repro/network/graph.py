@@ -29,6 +29,8 @@ import math
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
 
 __all__ = ["Edge", "RoadNetwork"]
@@ -293,6 +295,35 @@ class RoadNetwork:
                 f"(degree {len(adj)})"
             )
         return adj[position]
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The adjacency structure in CSR form: ``(indptr, neighbors, weights)``.
+
+        ``neighbors[indptr[n]:indptr[n + 1]]`` is node ``n``'s adjacency
+        list in its stored order, so ``i - indptr[n]`` recovers the §3.1
+        backtracking-link position of entry ``i``.  The arrays are fresh
+        snapshots — they do not track later edge updates.
+        """
+        num_nodes = len(self._adjacency)
+        degrees = np.fromiter(
+            (len(adj) for adj in self._adjacency),
+            dtype=np.int64,
+            count=num_nodes,
+        )
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        neighbors = np.fromiter(
+            (nbr for adj in self._adjacency for nbr, _ in adj),
+            dtype=np.int64,
+            count=total,
+        )
+        weights = np.fromiter(
+            (w for adj in self._adjacency for _, w in adj),
+            dtype=float,
+            count=total,
+        )
+        return indptr, neighbors, weights
 
     def euclidean_distance(self, u: int, v: int) -> float:
         """Straight-line distance between the coordinates of ``u`` and ``v``."""

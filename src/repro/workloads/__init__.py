@@ -4,6 +4,7 @@ from repro.workloads.harness import (
     Measurement,
     format_table,
     make_query_nodes,
+    measure_batch_queries,
     measure_queries,
 )
 from repro.workloads.queries import (
@@ -28,6 +29,7 @@ __all__ = [
     "format_table",
     "make_query_nodes",
     "measure_queries",
+    "measure_batch_queries",
     "ExperimentSuite",
     "build_experiment_suite",
     "dataset_for",

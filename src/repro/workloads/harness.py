@@ -27,6 +27,7 @@ __all__ = [
     "make_query_nodes",
     "Measurement",
     "measure_queries",
+    "measure_batch_queries",
     "format_table",
 ]
 
@@ -70,6 +71,11 @@ class Measurement:
     seconds: float
     extra: dict = field(default_factory=dict)
 
+    @property
+    def qps(self) -> float:
+        """Throughput in queries per second."""
+        return 1.0 / self.seconds if self.seconds > 0 else float("inf")
+
 
 def measure_queries(
     label: str,
@@ -109,6 +115,46 @@ def measure_queries(
         if pool is not None
         else index.counter.logical_reads
     )
+    return Measurement(
+        label=label,
+        queries=len(nodes),
+        pages=pages / count,
+        seconds=elapsed / count,
+        extra={"mean_result_size": result_sizes / count},
+    )
+
+
+def measure_batch_queries(
+    label: str,
+    index,
+    run_batch: Callable[[Sequence[int]], Sequence[object]],
+    nodes: Sequence[int],
+) -> Measurement:
+    """Run one batched call over all ``nodes``; report per-query averages.
+
+    The batch-API counterpart of :func:`measure_queries`: ``run_batch``
+    answers the whole workload in one vectorized pass, so the buffer pool
+    is cleared once up front (per-query cold buffers would defeat the
+    batch).  ``pages``/``seconds`` are still normalized per query so the
+    two measurement styles compare directly.
+    """
+    index.reset_counters()
+    start = time.perf_counter()
+    results = run_batch(nodes)
+    elapsed = time.perf_counter() - start
+    count = max(len(nodes), 1)
+    pool = getattr(index, "buffer_pool", None)
+    pages = (
+        index.counter.physical_reads
+        if pool is not None
+        else index.counter.logical_reads
+    )
+    result_sizes = 0
+    for result in results:
+        try:
+            result_sizes += len(result)  # type: ignore[arg-type]
+        except TypeError:
+            pass
     return Measurement(
         label=label,
         queries=len(nodes),
