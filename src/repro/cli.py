@@ -10,7 +10,12 @@ repro info index_dir
 repro query index_dir knn --node 42 --k 5
 repro query index_dir range --node 42 --radius 50
 repro query index_dir distance --node 42 --object 137
+repro stats index_dir --queries 50 --format table
+repro trace index_dir range --node 42 --radius 50
 ```
+
+``-v`` / ``-vv`` (before the subcommand) raises the log level of the
+``repro`` logger hierarchy to INFO / DEBUG.
 """
 
 from __future__ import annotations
@@ -18,9 +23,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+import numpy as np
+
 from repro.core import KnnType, SignatureIndex
 from repro.core.persistence import load_index, save_index
 from repro.errors import ReproError
+from repro.obs.logconfig import configure_logging
 from repro.network.datasets import clustered_dataset, uniform_dataset
 from repro.network.generators import random_planar_network
 from repro.network.io import (
@@ -40,6 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "Distance-signature indexing on road networks "
             "(VLDB 2006 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v: INFO, -vv: DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -120,6 +135,48 @@ def _build_parser() -> argparse.ArgumentParser:
     dist = query_sub.add_parser("distance", help="exact network distance")
     dist.add_argument("--node", type=int, required=True)
     dist.add_argument("--object", type=int, required=True, dest="object_node")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a sample workload and print the metrics registry",
+    )
+    stats.add_argument("index_dir")
+    stats.add_argument(
+        "--queries",
+        type=int,
+        default=20,
+        help="number of sampled range+kNN queries to run",
+    )
+    stats.add_argument("--radius", type=float, default=100.0)
+    stats.add_argument("--k", type=int, default=5)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        dest="out_format",
+        help="export format for the metrics snapshot",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run one query under tracing and print the span tree"
+    )
+    trace.add_argument("index_dir")
+    trace_sub = trace.add_subparsers(dest="query_type", required=True)
+    tknn = trace_sub.add_parser("knn")
+    tknn.add_argument("--node", type=int, required=True)
+    tknn.add_argument("--k", type=int, default=1)
+    trng = trace_sub.add_parser("range")
+    trng.add_argument("--node", type=int, required=True)
+    trng.add_argument("--radius", type=float, required=True)
+    for sp in (tknn, trng):
+        sp.add_argument(
+            "--format",
+            choices=("tree", "json"),
+            default="tree",
+            dest="out_format",
+            help="span tree rendering",
+        )
 
     return parser
 
@@ -241,6 +298,48 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.obs import (
+        metrics_summary_table,
+        metrics_to_json_lines,
+        metrics_to_prometheus,
+    )
+
+    index = load_index(args.index_dir)
+    rng = np.random.default_rng(args.seed)
+    nodes = rng.integers(0, index.network.num_nodes, size=args.queries)
+    index.range_query_batch([int(n) for n in nodes], args.radius)
+    for node in nodes:
+        index.knn(int(node), args.k)
+    if args.out_format == "json":
+        print(metrics_to_json_lines(index.metrics))
+    elif args.out_format == "prometheus":
+        print(metrics_to_prometheus(index.metrics))
+    else:
+        print(metrics_summary_table(index.metrics, title=args.index_dir))
+        print(
+            f"# page accesses: {index.counter.logical_reads}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import render_trace, trace_to_json_lines
+
+    index = load_index(args.index_dir)
+    with index.trace() as tracer:
+        if args.query_type == "knn":
+            index.knn(args.node, args.k, knn_type=KnnType.EXACT_DISTANCES)
+        else:
+            index.range_query(args.node, args.radius, with_distances=True)
+    if args.out_format == "json":
+        print(trace_to_json_lines(tracer))
+    else:
+        print(render_trace(tracer))
+    return 0
+
+
 _COMMANDS = {
     "generate-network": _cmd_generate_network,
     "generate-dataset": _cmd_generate_dataset,
@@ -248,6 +347,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "network-info": _cmd_network_info,
     "query": _cmd_query,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 
@@ -255,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging(args.verbose)
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:

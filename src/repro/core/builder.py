@@ -26,8 +26,10 @@ valid backtracking structure).
 
 from __future__ import annotations
 
+import logging
 import math
 import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,6 +41,9 @@ from repro.errors import IndexError_
 from repro.network.datasets import ObjectDataset
 from repro.network.dijkstra import shortest_path_tree
 from repro.network.graph import RoadNetwork
+from repro.obs.metrics import NULL_REGISTRY, get_default_registry
+
+logger = logging.getLogger("repro.core.builder")
 
 __all__ = [
     "RawSignatureData",
@@ -154,15 +159,22 @@ def _links_from_parents(
 
 
 def _sweep_python(
-    network: RoadNetwork, dataset: ObjectDataset
+    network: RoadNetwork,
+    dataset: ObjectDataset,
+    registry=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-object Dijkstra via the reference implementation."""
     num_nodes = network.num_nodes
     num_objects = len(dataset)
     tree_distances = np.full((num_objects, num_nodes), np.inf)
     tree_parents = np.full((num_objects, num_nodes), NO_PARENT, dtype=np.int32)
+    per_object = (registry or NULL_REGISTRY).histogram(
+        "construction.dijkstra_seconds"
+    )
     for rank, object_node in enumerate(dataset):
+        started = time.perf_counter()
         tree = shortest_path_tree(network, object_node)
+        per_object.observe(time.perf_counter() - started)
         tree_distances[rank] = tree.distance
         tree_parents[rank] = tree.parent
     return tree_distances, tree_parents
@@ -203,21 +215,25 @@ def _parallel_worker_init(network: RoadNetwork) -> None:
 
 def _parallel_sweep_chunk(
     object_nodes: list[int],
-) -> list[tuple[list[float], list[int]]]:
+) -> tuple[float, list[tuple[list[float], list[int]]]]:
+    """One worker-side chunk; returns ``(busy_seconds, results)`` so the
+    parent can account worker utilization without extra IPC."""
     network = _WORKER_NETWORK
     if network is None:  # pragma: no cover - initializer always ran
         raise IndexError_("parallel sweep worker was not initialized")
+    started = time.perf_counter()
     results = []
     for object_node in object_nodes:
         tree = shortest_path_tree(network, object_node)
         results.append((tree.distance, tree.parent))
-    return results
+    return time.perf_counter() - started, results
 
 
 def _sweep_python_parallel(
     network: RoadNetwork,
     dataset: ObjectDataset,
     workers: int | None = None,
+    registry=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The python sweep fanned out over a process pool.
 
@@ -229,12 +245,13 @@ def _sweep_python_parallel(
     """
     from concurrent.futures import ProcessPoolExecutor
 
+    registry = registry or NULL_REGISTRY
     num_objects = len(dataset)
     if workers is None:
         workers = os.cpu_count() or 1
     workers = max(1, min(workers, num_objects))
     if workers == 1:
-        return _sweep_python(network, dataset)
+        return _sweep_python(network, dataset, registry)
 
     objects = list(dataset)
     chunk_size = max(1, math.ceil(num_objects / (workers * 4)))
@@ -246,6 +263,10 @@ def _sweep_python_parallel(
     tree_parents = np.full(
         (num_objects, network.num_nodes), NO_PARENT, dtype=np.int32
     )
+    registry.gauge("construction.workers").set(workers)
+    chunk_hist = registry.histogram("construction.chunk_seconds")
+    busy_seconds = 0.0
+    wall_start = time.perf_counter()
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -253,15 +274,29 @@ def _sweep_python_parallel(
             initargs=(network,),
         ) as executor:
             rank = 0
-            for chunk_results in executor.map(_parallel_sweep_chunk, chunks):
+            for chunk_seconds, chunk_results in executor.map(
+                _parallel_sweep_chunk, chunks
+            ):
+                busy_seconds += chunk_seconds
+                chunk_hist.observe(chunk_seconds)
                 for distance, parent in chunk_results:
                     tree_distances[rank] = distance
                     tree_parents[rank] = parent
                     rank += 1
-    except (OSError, PermissionError, ValueError):
+    except (OSError, PermissionError, ValueError) as exc:
         # Sandboxes and restricted hosts may forbid subprocess spawn;
         # degrade to the serial reference sweep rather than failing.
-        return _sweep_python(network, dataset)
+        registry.counter("construction.serial_fallbacks").inc()
+        logger.warning(
+            "process pool unavailable (%s); falling back to serial sweep",
+            exc,
+        )
+        return _sweep_python(network, dataset, registry)
+    wall = time.perf_counter() - wall_start
+    if wall > 0:
+        registry.gauge("construction.worker_utilization").set(
+            min(busy_seconds / (wall * workers), 1.0)
+        )
     return tree_distances, tree_parents
 
 
@@ -271,6 +306,7 @@ def run_construction_sweep(
     *,
     backend: str = "auto",
     workers: int | None = None,
+    registry=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The §5.2 per-object Dijkstra sweep: ``(distances, parents)``.
 
@@ -278,10 +314,14 @@ def run_construction_sweep(
     ``"python-parallel"``, ``"scipy"``, or ``"auto"`` (scipy when
     importable, else python).  ``workers`` caps the process fan-out of
     ``"python-parallel"`` (default: the machine's CPU count).
+    ``registry`` receives ``construction.*`` profiling metrics (the
+    process-wide default registry when omitted).
     """
     dataset.validate_against(network)
     if len(dataset) == 0:
         raise IndexError_("cannot build signatures for an empty dataset")
+    if registry is None:
+        registry = get_default_registry()
     if backend == "auto":
         try:
             import scipy  # noqa: F401
@@ -289,13 +329,27 @@ def run_construction_sweep(
             backend = "python"
         else:
             backend = "scipy"
+    started = time.perf_counter()
     if backend == "scipy":
-        return _sweep_scipy(network, dataset)
-    if backend == "python":
-        return _sweep_python(network, dataset)
-    if backend == "python-parallel":
-        return _sweep_python_parallel(network, dataset, workers)
-    raise IndexError_(f"unknown construction backend {backend!r}")
+        swept = _sweep_scipy(network, dataset)
+    elif backend == "python":
+        swept = _sweep_python(network, dataset, registry)
+    elif backend == "python-parallel":
+        swept = _sweep_python_parallel(network, dataset, workers, registry)
+    else:
+        raise IndexError_(f"unknown construction backend {backend!r}")
+    elapsed = time.perf_counter() - started
+    registry.counter("construction.sweeps").inc()
+    registry.gauge("construction.sweep_seconds").set(elapsed)
+    registry.gauge("construction.objects").set(len(dataset))
+    logger.info(
+        "construction sweep (%s backend): %d objects over %d nodes in %.3fs",
+        backend,
+        len(dataset),
+        network.num_nodes,
+        elapsed,
+    )
+    return swept
 
 
 def assemble_signature_data(

@@ -22,6 +22,8 @@ Typical use::
 from __future__ import annotations
 
 import math
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,11 +54,28 @@ from repro.core.spanning_tree import NO_PARENT, ObjectSpanningTrees
 from repro.errors import IndexError_, QueryError
 from repro.network.datasets import ObjectDataset
 from repro.network.graph import RoadNetwork
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer, span_of
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.layout import adjacency_record_bits, build_node_file
 from repro.storage.pager import DEFAULT_PAGE_SIZE, PageAccessCounter
 
 __all__ = ["SignatureIndex", "IndexStorageReport"]
+
+
+class _NullScope:
+    """The fast path of :meth:`SignatureIndex._scope`: nothing recorded."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
 
 _SIZE_KINDS = ("raw", "encoded", "compressed")
 _QUERY_ENGINES = ("vectorized", "scalar")
@@ -131,6 +150,7 @@ class SignatureIndex:
         stored_kind: str = "compressed",
         buffer_pool: LRUBufferPool | None = None,
         query_engine: str = "vectorized",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if stored_kind not in _SIZE_KINDS:
             raise IndexError_(
@@ -155,7 +175,11 @@ class SignatureIndex:
         self.buffer_pool = buffer_pool
         self.decompressions = 0
         self.query_engine = query_engine
+        # Observability: an own registry (cheap, on by default — swap in
+        # repro.obs.NULL_REGISTRY to disable), no tracer until trace().
+        self.tracer: Tracer | None = None
         self.decoded = vectorized.DecodedSignatureCache()
+        self.use_metrics(metrics if metrics is not None else MetricsRegistry())
         self._signature_dirty_nodes: set[int] = set()
         self._build_storage()
 
@@ -179,6 +203,7 @@ class SignatureIndex:
         buffer_pool: LRUBufferPool | None = None,
         query_engine: str = "vectorized",
         workers: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "SignatureIndex":
         """Construct the index per §5.2 (+ §5.3 compression by default).
 
@@ -196,8 +221,11 @@ class SignatureIndex:
         ``keep_trees`` retains the spanning trees and reverse edge index
         needed for §5.4 incremental updates.
         """
+        registry = metrics if metrics is not None else MetricsRegistry()
+        build_start = time.perf_counter()
         tree_distances, tree_parents = run_construction_sweep(
-            network, dataset, backend=backend, workers=workers
+            network, dataset, backend=backend, workers=workers,
+            registry=registry,
         )
         if partition is None or isinstance(partition, str):
             finite = tree_distances[np.isfinite(tree_distances)]
@@ -246,8 +274,12 @@ class SignatureIndex:
             stored_kind="compressed" if compress else "encoded",
             buffer_pool=buffer_pool,
             query_engine=query_engine,
+            metrics=registry,
         )
         index.compression_stats = stats
+        registry.gauge("construction.total_seconds").set(
+            time.perf_counter() - build_start
+        )
         return index
 
     def _build_storage(self) -> None:
@@ -320,6 +352,92 @@ class SignatureIndex:
         self._build_storage()
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @contextmanager
+    def trace(self):
+        """Record a span tree for everything run inside the block.
+
+        Yields a :class:`repro.obs.Tracer` bound to this index's page
+        counter; every query/update issued while the block is open adds a
+        root span (with per-phase child spans from the engines).  The
+        tracer stays readable after the block closes::
+
+            with index.trace() as tracer:
+                index.knn(42, 5)
+            print(repro.obs.render_trace(tracer))
+        """
+        tracer = Tracer(self.counter)
+        previous = self.tracer
+        self.tracer = tracer
+        try:
+            yield tracer
+        finally:
+            self.tracer = previous
+
+    def use_metrics(self, registry: MetricsRegistry) -> None:
+        """Swap the metrics registry and rebind every cached instrument.
+
+        Pass :data:`repro.obs.NULL_REGISTRY` to disable metric recording
+        entirely (the hot paths then reduce to one attribute check).
+        """
+        self.metrics = registry
+        self._metric_backtrack_hops = registry.counter("backtrack.hops")
+        self._metric_compare_rounds = registry.counter("compare.rounds")
+        self.decoded.bind_metrics(registry)
+
+    def _scope(self, kind: str, *, count: int = 1, counter=None, **attrs):
+        """One instrumented region: a ``kind``-named span plus metrics.
+
+        The returned context manager yields the span (a shared no-op when
+        neither a tracer nor an enabled registry is present, so untraced
+        hot paths pay one attribute check).  ``count`` divides the
+        recorded time/pages for batch entry points, keeping every
+        histogram in per-query units.
+        """
+        if self.tracer is None and not self.metrics.enabled:
+            return _NULL_SCOPE
+        return self._observed(kind, count=count, counter=counter, attrs=attrs)
+
+    @contextmanager
+    def _observed(self, kind: str, *, count: int, counter, attrs: dict):
+        counter = self.counter if counter is None else counter
+        pool = self.buffer_pool
+        pool_snap = pool.snapshot() if pool is not None else None
+        snap = counter.snapshot()
+        start = time.perf_counter()
+        with span_of(self, kind, **attrs) as span:
+            yield span
+            elapsed = time.perf_counter() - start
+            delta = counter.delta(snap)
+            if pool_snap is not None and span is not NULL_SPAN:
+                pool_delta = pool.delta(pool_snap)
+                span.set("buffer_hits", pool_delta.hits)
+                span.set("buffer_misses", pool_delta.misses)
+        metrics = self.metrics
+        metrics.counter(f"{kind}.count").inc(count)
+        if count > 0:
+            metrics.histogram(f"{kind}.seconds").observe(elapsed / count)
+            metrics.histogram(f"{kind}.pages").observe(delta.logical / count)
+
+    def _record_update(self, span, report: update.UpdateReport):
+        """Fold an update report into metrics and the active span."""
+        metrics = self.metrics
+        metrics.counter("update.changed_components").inc(
+            report.changed_components
+        )
+        metrics.counter("update.touched_nodes").inc(report.touched_nodes)
+        metrics.counter("update.recompressed_nodes").inc(
+            report.recompressed_nodes
+        )
+        if span is not NULL_SPAN:
+            span.set("affected_objects", len(report.affected_objects))
+            span.set("changed_components", report.changed_components)
+            span.set("touched_nodes", report.touched_nodes)
+            span.set("recompressed_nodes", report.recompressed_nodes)
+        return report
+
+    # ------------------------------------------------------------------
     # decoded-signature cache (vectorized engine)
     # ------------------------------------------------------------------
     def enable_decoded_cache(self, capacity: int | None = None) -> None:
@@ -332,10 +450,12 @@ class SignatureIndex:
         """
         self.decoded = vectorized.DecodedSignatureCache(capacity)
         self.decoded.row_caching = True
+        self.decoded.bind_metrics(self.metrics)
 
     def disable_decoded_cache(self) -> None:
         """Drop all memoized rows and stop caching new ones."""
         self.decoded = vectorized.DecodedSignatureCache()
+        self.decoded.bind_metrics(self.metrics)
 
     def invalidate_decoded(
         self, nodes=None, *, objects: bool = False
@@ -376,7 +496,10 @@ class SignatureIndex:
     def distance(self, node: int, object_node: int) -> float:
         """Exact network distance from ``node`` to the object at
         ``object_node`` (Algorithm 1)."""
-        return operations.retrieve_distance(self, node, self.rank_of(object_node))
+        with self._scope("query.distance", node=node):
+            return operations.retrieve_distance(
+                self, node, self.rank_of(object_node)
+            )
 
     def distance_range(
         self, node: int, object_node: int, delta: tuple[float, float]
@@ -422,9 +545,11 @@ class SignatureIndex:
         Returns object node ids — or ``(object_node, distance)`` pairs
         with ``with_distances``.
         """
-        result = self._queries.range_query(
-            self, node, radius, with_distances=with_distances
-        )
+        with self._scope("query.range", node=node, radius=radius) as span:
+            result = self._queries.range_query(
+                self, node, radius, with_distances=with_distances
+            )
+            span.set("results", len(result))
         if with_distances:
             return [(self.dataset[rank], d) for rank, d in result]
         return [self.dataset[rank] for rank in result]
@@ -438,17 +563,22 @@ class SignatureIndex:
         the same shape :meth:`range_query` produces.  Available on either
         engine; the scalar engine simply loops.
         """
-        if self.query_engine == "vectorized":
-            batched = vectorized.range_query_batch(
-                self, nodes, radius, with_distances=with_distances
-            )
-        else:
-            batched = [
-                queries.range_query(
-                    self, int(node), radius, with_distances=with_distances
+        nodes = [int(node) for node in nodes]
+        with self._scope(
+            "query.range_batch", count=len(nodes), radius=radius
+        ) as span:
+            if self.query_engine == "vectorized":
+                batched = vectorized.range_query_batch(
+                    self, nodes, radius, with_distances=with_distances
                 )
-                for node in nodes
-            ]
+            else:
+                batched = [
+                    queries.range_query(
+                        self, int(node), radius, with_distances=with_distances
+                    )
+                    for node in nodes
+                ]
+            span.set("queries", len(batched))
         if with_distances:
             return [
                 [(self.dataset[rank], d) for rank, d in result]
@@ -464,22 +594,29 @@ class SignatureIndex:
         Type 1 returns ``(object_node, distance)`` pairs in ascending
         order; types 2/3 return object node lists (ordered / unordered).
         """
-        result = self._queries.knn_query(self, node, k, knn_type=knn_type)
+        with self._scope(
+            "query.knn", node=node, k=k, knn_type=knn_type.name
+        ) as span:
+            result = self._queries.knn_query(self, node, k, knn_type=knn_type)
+            span.set("results", len(result))
         if knn_type is KnnType.EXACT_DISTANCES:
             return [(self.dataset[rank], d) for rank, d in result]
         return [self.dataset[rank] for rank in result]
 
     def knn_batch(self, nodes, k: int, *, knn_type: KnnType = KnnType.SET):
         """One kNN query per node of ``nodes``, in one vectorized pass."""
-        if self.query_engine == "vectorized":
-            batched = vectorized.knn_query_batch(
-                self, nodes, k, knn_type=knn_type
-            )
-        else:
-            batched = [
-                queries.knn_query(self, int(node), k, knn_type=knn_type)
-                for node in nodes
-            ]
+        nodes = [int(node) for node in nodes]
+        with self._scope("query.knn_batch", count=len(nodes), k=k) as span:
+            if self.query_engine == "vectorized":
+                batched = vectorized.knn_query_batch(
+                    self, nodes, k, knn_type=knn_type
+                )
+            else:
+                batched = [
+                    queries.knn_query(self, node, k, knn_type=knn_type)
+                    for node in nodes
+                ]
+            span.set("queries", len(batched))
         if knn_type is KnnType.EXACT_DISTANCES:
             return [
                 [(self.dataset[rank], d) for rank, d in result]
@@ -496,14 +633,20 @@ class SignatureIndex:
         exact backtracking; see
         :func:`repro.core.queries.approximate_knn_query`.
         """
-        result = queries.approximate_knn_query(self, node, k)
+        with self._scope("query.knn_approximate", node=node, k=k) as span:
+            result = queries.approximate_knn_query(self, node, k)
+            span.set("results", len(result))
         return [self.dataset[rank] for rank in result]
 
     def aggregate_range(
         self, node: int, radius: float, aggregate: str = "count"
     ) -> float:
         """Aggregate over the objects within ``radius`` of ``node`` (§4.3)."""
-        return self._queries.aggregate_range(self, node, radius, aggregate)
+        with self._scope(
+            "query.aggregate_range", node=node, radius=radius,
+            aggregate=aggregate,
+        ):
+            return self._queries.aggregate_range(self, node, radius, aggregate)
 
     def epsilon_join(
         self, other: "SignatureIndex", epsilon: float
@@ -512,7 +655,13 @@ class SignatureIndex:
 
         Returns ``(node_a, node_b)`` object-node pairs.
         """
-        pairs = self._queries.epsilon_join(self, other, epsilon)
+        # The join's page charges land on ``other``'s counter (range
+        # queries run against index_b), so meter that one.
+        with self._scope(
+            "query.epsilon_join", epsilon=epsilon, counter=other.counter
+        ) as span:
+            pairs = self._queries.epsilon_join(self, other, epsilon)
+            span.set("pairs", len(pairs))
         return [
             (self.dataset[rank_a], other.dataset[rank_b])
             for rank_a, rank_b in pairs
@@ -526,7 +675,11 @@ class SignatureIndex:
         Returns ``(node_a, [node_b, ...])`` pairs: each of this dataset's
         objects with its k nearest objects of ``other``.
         """
-        joined = self._queries.knn_join(self, other, k)
+        with self._scope(
+            "query.knn_join", k=k, counter=other.counter
+        ) as span:
+            joined = self._queries.knn_join(self, other, k)
+            span.set("pairs", len(joined))
         return [
             (self.dataset[rank_a], [other.dataset[r] for r in ranks])
             for rank_a, ranks in joined
@@ -537,33 +690,44 @@ class SignatureIndex:
     # ------------------------------------------------------------------
     def add_edge(self, u: int, v: int, weight: float) -> update.UpdateReport:
         """Insert an edge and incrementally maintain the index (§5.4.1)."""
-        return update.add_edge(self, u, v, weight)
+        with self._scope("update.add_edge", u=u, v=v) as span:
+            return self._record_update(span, update.add_edge(self, u, v, weight))
 
     def remove_edge(self, u: int, v: int) -> update.UpdateReport:
         """Remove an edge and incrementally maintain the index (§5.4.2)."""
-        return update.remove_edge(self, u, v)
+        with self._scope("update.remove_edge", u=u, v=v) as span:
+            return self._record_update(span, update.remove_edge(self, u, v))
 
     def set_edge_weight(self, u: int, v: int, weight: float) -> update.UpdateReport:
         """Re-weight an edge; dispatches to §5.4.1 or §5.4.2 as needed."""
-        return update.set_edge_weight(self, u, v, weight)
+        with self._scope("update.set_edge_weight", u=u, v=v) as span:
+            return self._record_update(
+                span, update.set_edge_weight(self, u, v, weight)
+            )
 
     def add_node(
         self, x: float, y: float, edges: list[tuple[int, float]]
     ) -> tuple[int, update.UpdateReport]:
         """Insert a node with incident edges (§5.4's reduction)."""
-        return update.add_node(self, x, y, edges)
+        with self._scope("update.add_node") as span:
+            node, report = update.add_node(self, x, y, edges)
+            self._record_update(span, report)
+            return node, report
 
     def remove_node(self, node: int) -> update.UpdateReport:
         """Remove a (non-object) node by deleting its edges (§5.4)."""
-        return update.remove_node(self, node)
+        with self._scope("update.remove_node", node=node) as span:
+            return self._record_update(span, update.remove_node(self, node))
 
     def add_object(self, node: int) -> update.UpdateReport:
         """Insert a new dataset object at ``node`` (one Dijkstra sweep)."""
-        return update.add_object(self, node)
+        with self._scope("update.add_object", node=node) as span:
+            return self._record_update(span, update.add_object(self, node))
 
     def remove_object(self, node: int) -> update.UpdateReport:
         """Remove the dataset object at ``node``."""
-        return update.remove_object(self, node)
+        with self._scope("update.remove_object", node=node) as span:
+            return self._record_update(span, update.remove_object(self, node))
 
     def knn_at(self, location, k: int):
         """kNN from a position on an edge (§1's on-segment decomposition).
@@ -573,18 +737,17 @@ class SignatureIndex:
         """
         from repro.core.edge_queries import knn_at
 
-        return [
-            (self.dataset[rank], d) for rank, d in knn_at(self, location, k)
-        ]
+        with self._scope("query.knn_at", k=k):
+            result = knn_at(self, location, k)
+        return [(self.dataset[rank], d) for rank, d in result]
 
     def range_query_at(self, location, radius: float):
         """Range query from a position on an edge; ``(node, distance)``."""
         from repro.core.edge_queries import range_query_at
 
-        return [
-            (self.dataset[rank], d)
-            for rank, d in range_query_at(self, location, radius)
-        ]
+        with self._scope("query.range_at", radius=radius):
+            result = range_query_at(self, location, radius)
+        return [(self.dataset[rank], d) for rank, d in result]
 
     def _grow_for_node(self, node: int) -> None:
         """Extend every per-node / per-tree array for a freshly added node."""

@@ -88,6 +88,9 @@ class Backtracker:
         # link table is corrupt; the guard turns a would-be infinite walk
         # into a diagnosable error.
         self._max_steps = index.network.num_nodes
+        # Full SignatureIndex objects expose a shared hop counter (a
+        # repro.obs Counter); bare protocol stubs in tests do not.
+        self._hops_metric = getattr(index, "_metric_backtrack_hops", None)
         component = index.component(node, rank)
         self._component = component
         if component.link == LINK_HERE:
@@ -104,6 +107,11 @@ class Backtracker:
         return self._range
 
     @property
+    def steps(self) -> int:
+        """How many backtracking hops the walk has taken so far."""
+        return self._steps
+
+    @property
     def is_exact(self) -> bool:
         """Whether the range has collapsed to the exact distance."""
         return self._range.is_exact
@@ -117,6 +125,8 @@ class Backtracker:
         if self.is_exact:
             return self._range
         self._steps += 1
+        if self._hops_metric is not None:
+            self._hops_metric.inc()
         if self._steps > self._max_steps:
             raise IndexError_(
                 f"backtracking toward object {self._rank} exceeded "
@@ -208,7 +218,10 @@ def compare_exact(
 
     tracker_a = Backtracker(index, node, rank_a)
     tracker_b = Backtracker(index, node, rank_b)
+    rounds_metric = getattr(index, "_metric_compare_rounds", None)
     while True:
+        if rounds_metric is not None:
+            rounds_metric.inc()
         range_a, range_b = tracker_a.range, tracker_b.range
         if range_a.is_exact and range_b.is_exact:
             if range_a.value < range_b.value:

@@ -31,6 +31,7 @@ from repro.core.operations import (
 )
 from repro.core.signature import DistanceRange
 from repro.errors import QueryError
+from repro.obs.tracing import span_of
 
 __all__ = [
     "KnnType",
@@ -65,8 +66,15 @@ def _qualifies(index: SignatureIndexProtocol, node: int, rank: int,
         return True
     if lb > radius:
         return False
+    # Third case: the category straddles the radius — scalar refinement.
+    metrics = getattr(index, "metrics", None)
+    if metrics is not None and metrics.enabled:
+        metrics.counter("scalar.refinements").inc()
     delta = DistanceRange(radius, radius)
-    refined = Backtracker(index, node, rank).refine(delta)
+    with span_of(index, "refine", rank=rank) as span:
+        tracker = Backtracker(index, node, rank)
+        refined = tracker.refine(delta)
+        span.set("hops", tracker.steps)
     if refined.is_exact:
         return refined.value <= radius
     return refined.ub <= radius
@@ -147,7 +155,13 @@ def knn_query(
 
     if needed_from_boundary:
         # Sort the boundary bucket (Algorithm 4) and take the remainder.
-        ordered_boundary = sort_by_distance(index, node, boundary_bucket)
+        with span_of(
+            index,
+            "boundary_sort",
+            bucket=len(boundary_bucket),
+            needed=needed_from_boundary,
+        ):
+            ordered_boundary = sort_by_distance(index, node, boundary_bucket)
         boundary_take = ordered_boundary[:needed_from_boundary]
     else:
         boundary_take = []

@@ -34,6 +34,7 @@ from repro.core.compression import compress_node
 from repro.core.signature import LINK_HERE, LINK_NONE
 from repro.core.spanning_tree import NO_PARENT
 from repro.errors import UpdateError
+from repro.obs.tracing import span_of
 
 __all__ = [
     "UpdateReport",
@@ -106,23 +107,25 @@ def _refresh_components(index, changes: dict[int, set[int]]) -> UpdateReport:
     partition = index.partition
     trees = index.trees
     touched_nodes: set[int] = set()
-    for rank, nodes in changes.items():
-        if not nodes:
-            continue
-        report.affected_objects.add(rank)
-        for node in nodes:
-            new_category = partition.categorize(
-                _finite_or_inf(trees.distance(rank, node))
-            )
-            new_link = _link_for(index, node, rank)
-            if (
-                int(table.categories[node, rank]) != new_category
-                or int(table.links[node, rank]) != new_link
-            ):
-                table.categories[node, rank] = new_category
-                table.links[node, rank] = new_link
-                report.changed_components += 1
-                touched_nodes.add(node)
+    with span_of(index, "refresh_components", trees=len(changes)) as span:
+        for rank, nodes in changes.items():
+            if not nodes:
+                continue
+            report.affected_objects.add(rank)
+            for node in nodes:
+                new_category = partition.categorize(
+                    _finite_or_inf(trees.distance(rank, node))
+                )
+                new_link = _link_for(index, node, rank)
+                if (
+                    int(table.categories[node, rank]) != new_category
+                    or int(table.links[node, rank]) != new_link
+                ):
+                    table.categories[node, rank] = new_category
+                    table.links[node, rank] = new_link
+                    report.changed_components += 1
+                    touched_nodes.add(node)
+        span.set("changed_components", report.changed_components)
     report.touched_nodes = len(touched_nodes)
     index._signature_dirty_nodes |= touched_nodes
     # Changed categories/links make any memoized decoded rows stale.
@@ -265,9 +268,10 @@ def _recompress(index, report: UpdateReport, touched_nodes: set[int],
         suspects |= set(np.flatnonzero(flagged_target | flagged_base).tolist())
     if not suspects:
         return
-    category_matrix = index.object_table.category_matrix()
-    for node in suspects:
-        compress_node(table, category_matrix, node)
+    with span_of(index, "recompress", nodes=len(suspects)):
+        category_matrix = index.object_table.category_matrix()
+        for node in suspects:
+            compress_node(table, category_matrix, node)
     report.recompressed_nodes = len(suspects)
 
 

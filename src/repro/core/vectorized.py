@@ -36,6 +36,7 @@ can be memoized in an opt-in :class:`DecodedSignatureCache`
 from __future__ import annotations
 
 import functools
+import logging
 from collections import OrderedDict
 from collections.abc import Sequence
 
@@ -53,6 +54,10 @@ from repro.core.operations import (
 from repro.core.queries import _AGGREGATES, KnnType
 from repro.core.signature import DistanceRange
 from repro.errors import IndexError_, QueryError, StorageError
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.tracing import span_of
+
+logger = logging.getLogger("repro.core.vectorized")
 
 __all__ = [
     "DecodedSignatureCache",
@@ -95,6 +100,23 @@ class DecodedSignatureCache:
         self.misses = 0
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._object_categories: np.ndarray | None = None
+        self.bind_metrics(NULL_REGISTRY)
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror hit/miss/invalidation tallies into ``registry``.
+
+        The cache always keeps its own integer tallies (``hits`` /
+        ``misses``); binding additionally feeds ``decoded_cache.*``
+        counters so metric exports can cross-check cache behavior.
+        """
+        self._metric_hits = registry.counter("decoded_cache.hits")
+        self._metric_misses = registry.counter("decoded_cache.misses")
+        self._metric_invalidated = registry.counter(
+            "decoded_cache.invalidated_rows"
+        )
+        self._metric_object_invalidations = registry.counter(
+            "decoded_cache.object_invalidations"
+        )
 
     # -- rows ----------------------------------------------------------
     def get_row(self, node: int) -> np.ndarray | None:
@@ -104,8 +126,10 @@ class DecodedSignatureCache:
         row = self._rows.get(node)
         if row is None:
             self.misses += 1
+            self._metric_misses.inc()
             return None
         self.hits += 1
+        self._metric_hits.inc()
         self._rows.move_to_end(node)
         return row
 
@@ -133,19 +157,28 @@ class DecodedSignatureCache:
         components changed.
         """
         if nodes is None:
+            self._metric_invalidated.inc(len(self._rows))
             self._rows.clear()
             return
+        dropped = 0
         for node in nodes:
-            self._rows.pop(int(node), None)
+            if self._rows.pop(int(node), None) is not None:
+                dropped += 1
+        self._metric_invalidated.inc(dropped)
 
     def invalidate_objects(self) -> None:
         """Drop the object category matrix — and, since decoded rows may
         derive compressed components from it, every row too."""
+        self._metric_object_invalidations.inc()
+        self._metric_invalidated.inc(len(self._rows))
         self._object_categories = None
         self._rows.clear()
 
     def clear(self) -> None:
         """Full reset (``refresh_storage`` / structural dataset changes)."""
+        if self._rows:
+            logger.debug("decoded cache cleared (%d rows)", len(self._rows))
+        self._metric_invalidated.inc(len(self._rows))
         self._rows.clear()
         self._object_categories = None
 
@@ -274,9 +307,12 @@ def decode_signature_rows(
 ) -> np.ndarray:
     """The logical ``(B, D)`` category rows of ``nodes`` (cache-aware)."""
     cache = getattr(index, "decoded", None)
-    if cache is not None and cache.row_caching:
-        return np.stack([decode_signature_row(index, int(n)) for n in nodes])
-    return _decode_block(index, np.asarray(list(nodes), dtype=np.int64))
+    with span_of(index, "decode", rows=len(nodes)):
+        if cache is not None and cache.row_caching:
+            return np.stack(
+                [decode_signature_row(index, int(n)) for n in nodes]
+            )
+        return _decode_block(index, np.asarray(list(nodes), dtype=np.int64))
 
 
 # ----------------------------------------------------------------------
@@ -287,10 +323,29 @@ def _refine_qualifies(
 ) -> bool:
     """Algorithm 5's third case: backtrack until the range decides."""
     delta = DistanceRange(radius, radius)
-    refined = Backtracker(index, node, rank).refine(delta)
+    with span_of(index, "refine", rank=rank) as span:
+        tracker = Backtracker(index, node, rank)
+        refined = tracker.refine(delta)
+        span.set("hops", tracker.steps)
     if refined.is_exact:
         return refined.value <= radius
     return refined.ub <= radius
+
+
+def _tally_masks(index, confirmed: int, ambiguous: int, total: int) -> None:
+    """Record the categorical-phase outcome: how much of the candidate
+    set the vectorized masks decided without scalar refinement."""
+    metrics = getattr(index, "metrics", None)
+    if metrics is not None and metrics.enabled:
+        metrics.counter("vectorized.confirmed").inc(confirmed)
+        metrics.counter("vectorized.ambiguous").inc(ambiguous)
+    tracer = getattr(index, "tracer", None)
+    if tracer is not None and tracer.current is not None:
+        span = tracer.current
+        span.set("confirmed", confirmed)
+        span.set("ambiguous", ambiguous)
+        if total:
+            span.set("mask_pass_rate", round(1 - ambiguous / total, 4))
 
 
 def _make_approx_comparator(index, node: int, cats_row: np.ndarray):
@@ -390,6 +445,9 @@ def _range_hits(
     lbs, ubs = category_bound_arrays(index.partition)
     confirmed = ubs[cats_row] <= radius
     ambiguous = ~confirmed & (lbs[cats_row] <= radius)
+    _tally_masks(
+        index, int(confirmed.sum()), int(ambiguous.sum()), cats_row.size
+    )
     for rank in np.flatnonzero(ambiguous):
         if _refine_qualifies(index, node, int(rank), radius):
             confirmed[rank] = True
@@ -438,6 +496,7 @@ def range_query_batch(
     lbs, ubs = category_bound_arrays(index.partition)
     confirmed = ubs[rows] <= radius
     ambiguous = ~confirmed & (lbs[rows] <= radius)
+    _tally_masks(index, int(confirmed.sum()), int(ambiguous.sum()), rows.size)
     results: list = []
     for i, node in enumerate(nodes):
         index.touch_signature(node)
@@ -511,7 +570,12 @@ def knn_query(
     comparator = None
     if needed:
         comparator = _make_approx_comparator(index, node, cats_row)
-        boundary_take = _sort_ranks(index, node, boundary, comparator)[:needed]
+        with span_of(
+            index, "boundary_sort", bucket=len(boundary), needed=needed
+        ):
+            boundary_take = _sort_ranks(index, node, boundary, comparator)[
+                :needed
+            ]
     else:
         boundary_take = []
 
@@ -603,6 +667,9 @@ def epsilon_join(
     lbs, ubs = category_bound_arrays(index_b.partition)
     confirmed = ubs[rows] <= epsilon
     ambiguous = ~confirmed & (lbs[rows] <= epsilon)
+    _tally_masks(
+        index_b, int(confirmed.sum()), int(ambiguous.sum()), rows.size
+    )
     pairs: list[tuple[int, int]] = []
     for rank_a, node_a in enumerate(nodes):
         index_b.touch_signature(node_a)

@@ -1,0 +1,208 @@
+"""Exporters: JSON lines, Prometheus text format, and summary tables.
+
+Three consumers, three formats:
+
+* :func:`metrics_to_json_lines` / :func:`trace_to_json_lines` — one JSON
+  object per line, for log shipping and the benchmark trajectory files;
+* :func:`metrics_to_prometheus` — the Prometheus text exposition format
+  (counters and gauges verbatim; histograms as summaries with
+  p50/p95/p99 quantile samples), for scraping a serving process;
+* :func:`metrics_summary_table` / :func:`render_trace` — fixed-width
+  human-readable text, in the same visual style as the benchmark tables.
+
+Everything is pure stdlib; the table layout is implemented locally so
+:mod:`repro.obs` stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+__all__ = [
+    "metrics_to_json_lines",
+    "metrics_to_prometheus",
+    "metrics_summary_table",
+    "trace_to_json_lines",
+    "render_trace",
+]
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _finite(value: float) -> float | None:
+    """JSON has no inf/nan; map them to None for the line formats."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def metrics_to_json_lines(registry) -> str:
+    """One JSON object per instrument: ``{"type", "name", ...}``."""
+    snapshot = registry.snapshot()
+    lines = []
+    for name, value in snapshot["counters"].items():
+        lines.append(json.dumps({"type": "counter", "name": name, "value": value}))
+    for name, value in snapshot["gauges"].items():
+        lines.append(
+            json.dumps({"type": "gauge", "name": name, "value": _finite(value)})
+        )
+    for name, summary in snapshot["histograms"].items():
+        payload = {k: _finite(v) for k, v in summary.items()}
+        lines.append(
+            json.dumps({"type": "histogram", "name": name, **payload})
+        )
+    return "\n".join(lines)
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    sanitized = _PROM_NAME.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def metrics_to_prometheus(registry, *, prefix: str = "repro") -> str:
+    """The registry in Prometheus text exposition format.
+
+    Histograms are exported as summaries (quantile-labeled samples plus
+    ``_sum``/``_count``), which matches what the streaming buckets can
+    answer without retaining samples.
+    """
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_prom_value(value)}")
+    for name, value in snapshot["gauges"].items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, summary in snapshot["histograms"].items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q_label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{q_label}"}} '
+                    f"{_prom_value(summary[key])}"
+                )
+        lines.append(f"{metric}_sum {_prom_value(summary.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {summary.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _table(headers: list[str], rows: list[list[str]], title: str) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title] if title else []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if not math.isfinite(value):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def metrics_summary_table(registry, *, title: str = "metrics") -> str:
+    """A fixed-width human-readable dump of every instrument."""
+    snapshot = registry.snapshot()
+    rows: list[list[str]] = []
+    for name, value in snapshot["counters"].items():
+        rows.append([name, "counter", str(value), "", "", ""])
+    for name, value in snapshot["gauges"].items():
+        rows.append([name, "gauge", _fmt(value), "", "", ""])
+    for name, summary in snapshot["histograms"].items():
+        rows.append(
+            [
+                name,
+                "histogram",
+                str(summary.get("count", 0)),
+                _fmt(summary.get("mean", math.nan)) if summary.get("count") else "",
+                _fmt(summary.get("p95", math.nan)) if summary.get("count") else "",
+                _fmt(summary.get("p99", math.nan)) if summary.get("count") else "",
+            ]
+        )
+    if not rows:
+        return f"{title}\n(no instruments recorded)"
+    return _table(
+        ["metric", "kind", "count/value", "mean", "p95", "p99"], rows, title
+    )
+
+
+def trace_to_json_lines(tracer) -> str:
+    """Every span (depth-first) as one JSON object per line."""
+    lines = []
+    for depth, span in _walk_with_depth(tracer):
+        lines.append(
+            json.dumps(
+                {
+                    "name": span.name,
+                    "depth": depth,
+                    "seconds": span.seconds,
+                    "pages_logical": span.pages_logical,
+                    "pages_physical": span.pages_physical,
+                    "attributes": {
+                        k: _finite(v) if isinstance(v, float) else v
+                        for k, v in span.attributes.items()
+                    },
+                }
+            )
+        )
+    return "\n".join(lines)
+
+
+def _walk_with_depth(tracer):
+    stack = [(0, root) for root in reversed(tracer.roots)]
+    while stack:
+        depth, span = stack.pop()
+        yield depth, span
+        for child in reversed(span.children):
+            stack.append((depth + 1, child))
+
+
+def render_trace(tracer) -> str:
+    """An indented text rendering of the span tree.
+
+    One line per span: name, wall time, page deltas, then attributes —
+    the ``repro trace`` CLI output.
+    """
+    lines = []
+    for depth, span in _walk_with_depth(tracer):
+        attrs = ""
+        if span.attributes:
+            attrs = "  " + " ".join(
+                f"{key}={_fmt(value) if isinstance(value, float) else value}"
+                for key, value in span.attributes.items()
+            )
+        lines.append(
+            f"{'  ' * depth}{span.name}  {span.seconds * 1e3:.3f} ms  "
+            f"pages={span.pages_logical}/{span.pages_physical}{attrs}"
+        )
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""One-shot stdlib logging configuration for the ``repro`` tree.
+
+The CLI's ``-v``/``-vv`` flags call :func:`configure_logging`; library
+modules (``repro.obs``, ``repro.core.builder``,
+``repro.core.vectorized``) each hold a module logger and emit through it
+instead of printing, so diagnostics route through one switchboard that
+is silent by default.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging"]
+
+_handler: logging.Handler | None = None
+
+
+def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger once; idempotent on the handler.
+
+    ``verbosity`` 0 keeps the library silent (WARNING), 1 enables INFO,
+    2+ enables DEBUG.  Repeat calls only adjust the level, so the CLI can
+    call this unconditionally without stacking handlers.  Returns the
+    ``repro`` logger.
+    """
+    global _handler
+    logger = logging.getLogger("repro")
+    if _handler is None:
+        _handler = logging.StreamHandler(stream or sys.stderr)
+        _handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(_handler)
+        logger.propagate = False
+    elif stream is not None:  # retarget (tests swap the stream)
+        _handler.setStream(stream)
+    if verbosity <= 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    return logger

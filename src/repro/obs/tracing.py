@@ -1,0 +1,216 @@
+"""Hierarchical query tracing: context-manager spans over the pager.
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s.  Each span measures
+wall time and — when the tracer is bound to a
+:class:`~repro.storage.pager.PageAccessCounter` — the logical/physical
+page-access delta over its body, snapshotted via the counter's public
+``snapshot()/delta()`` API.  Because every page touch inside a span body
+lands in that span's delta, the root spans of a trace partition the
+counter's totals exactly: ``tracer.total_pages()`` equals what the
+counter accumulated while the trace ran.
+
+Instrumented code never talks to a tracer directly; it calls
+:func:`span_of`, which returns a shared no-op span when the owner (an
+index, usually) has no tracer installed — one ``getattr`` and an empty
+context manager, cheap enough for per-query call sites that are usually
+untraced.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["Span", "Tracer", "span_of", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, page-metered region of a trace tree.
+
+    Use as a context manager (typically via :meth:`Tracer.span`)::
+
+        with tracer.span("range_query", node=node) as sp:
+            ...
+            sp.set("ambiguous", 3)
+
+    Attributes are free-form key/value pairs; engine code records its
+    specifics there (mask pass rate, cache hits, backtracking hops).
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "seconds",
+        "pages_logical",
+        "pages_physical",
+        "_tracer",
+        "_start",
+        "_snap",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.children: list[Span] = []
+        self.seconds = 0.0
+        self.pages_logical = 0
+        self.pages_physical = 0
+        self._tracer = tracer
+        self._start = 0.0
+        self._snap = None
+
+    def set(self, key: str, value) -> None:
+        """Record one attribute on the span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        (stack[-1].children if stack else tracer.roots).append(self)
+        stack.append(self)
+        counter = tracer.counter
+        if counter is not None:
+            self._snap = counter.snapshot()
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = perf_counter() - self._start
+        snap = self._snap
+        if snap is not None:
+            delta = self._tracer.counter.delta(snap)
+            self.pages_logical = delta.logical
+            self.pages_physical = delta.physical
+        self._tracer._stack.pop()
+        return False
+
+    def to_dict(self) -> dict:
+        """The span subtree as plain JSON-serializable data."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "pages_logical": self.pages_logical,
+            "pages_physical": self.pages_physical,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self):
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, seconds={self.seconds:.6f}, "
+            f"pages={self.pages_logical}, children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span returned by :func:`span_of` when no
+    tracer is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+#: The singleton no-op span.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans for one traced episode.
+
+    ``counter`` is the experiment's
+    :class:`~repro.storage.pager.PageAccessCounter`; when provided, every
+    span carries the logical/physical page deltas of its body.
+    """
+
+    def __init__(self, counter=None) -> None:
+        self.counter = counter
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span; enter it (``with``) to attach it to the tree."""
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def walk(self):
+        """Every span of the trace, depth-first in recording order."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def total_pages(self) -> tuple[int, int]:
+        """``(logical, physical)`` page accesses summed over root spans.
+
+        Root spans never overlap (the tree is built from one call stack),
+        so this equals the counter's accumulation over the traced episode.
+        """
+        return (
+            sum(span.pages_logical for span in self.roots),
+            sum(span.pages_physical for span in self.roots),
+        )
+
+    def total_seconds(self) -> float:
+        """Wall time summed over root spans."""
+        return sum(span.seconds for span in self.roots)
+
+    def aggregate(self) -> dict[str, dict]:
+        """Per-span-name totals over the whole trace.
+
+        Returns ``{name: {count, seconds, pages_logical, pages_physical}}``
+        — the per-phase breakdown benchmarks report.  Nested phases are
+        aggregated by their own names; parents include their children's
+        time and pages (inclusive accounting, like the spans themselves).
+        """
+        phases: dict[str, dict] = {}
+        for span in self.walk():
+            phase = phases.setdefault(
+                span.name,
+                {
+                    "count": 0,
+                    "seconds": 0.0,
+                    "pages_logical": 0,
+                    "pages_physical": 0,
+                },
+            )
+            phase["count"] += 1
+            phase["seconds"] += span.seconds
+            phase["pages_logical"] += span.pages_logical
+            phase["pages_physical"] += span.pages_physical
+        return phases
+
+    def to_dicts(self) -> list[dict]:
+        """Every root span's subtree as plain data."""
+        return [root.to_dict() for root in self.roots]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(roots={len(self.roots)}, open={len(self._stack)})"
+
+
+def span_of(owner, name: str, **attributes):
+    """A span on ``owner``'s tracer, or the shared no-op span.
+
+    ``owner`` is duck-typed: anything with an optional ``tracer``
+    attribute (every :class:`~repro.core.index.SignatureIndex`).  The
+    untraced fast path is one ``getattr`` plus an empty context manager.
+    """
+    tracer = getattr(owner, "tracer", None)
+    if tracer is None:
+        return NULL_SPAN
+    return Span(tracer, name, attributes)

@@ -7,7 +7,7 @@ materialized, and every read is tallied by a
 :class:`~repro.storage.pager.PageAccessCounter`.
 """
 
-from repro.storage.buffer import LRUBufferPool
+from repro.storage.buffer import BufferSnapshot, LRUBufferPool
 from repro.storage.ccam import ccam_order, hilbert_key
 from repro.storage.layout import (
     DISTANCE_BYTES,
@@ -23,15 +23,18 @@ from repro.storage.pager import (
     DEFAULT_PAGE_SIZE,
     PageAccessCounter,
     PagedFile,
+    PageSnapshot,
     RecordLocation,
 )
 
 __all__ = [
     "DEFAULT_PAGE_SIZE",
     "PageAccessCounter",
+    "PageSnapshot",
     "PagedFile",
     "RecordLocation",
     "LRUBufferPool",
+    "BufferSnapshot",
     "ccam_order",
     "hilbert_key",
     "DISTANCE_BYTES",

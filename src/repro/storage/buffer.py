@@ -11,10 +11,25 @@ bytes.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 
 from repro.errors import StorageError
 
-__all__ = ["LRUBufferPool"]
+__all__ = ["BufferSnapshot", "LRUBufferPool"]
+
+
+@dataclass(frozen=True, slots=True)
+class BufferSnapshot:
+    """An immutable reading of a pool's hit/miss/eviction tallies.
+
+    The buffer-pool analogue of
+    :class:`~repro.storage.pager.PageSnapshot`: tracing spans snapshot
+    the pool on entry and report the delta as span attributes.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
 
 
 class LRUBufferPool:
@@ -62,6 +77,19 @@ class LRUBufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def snapshot(self) -> BufferSnapshot:
+        """The current tallies as an immutable value (pairs with
+        :meth:`delta`; snapshots nest freely)."""
+        return BufferSnapshot(self.hits, self.misses, self.evictions)
+
+    def delta(self, since: BufferSnapshot) -> BufferSnapshot:
+        """Hits/misses/evictions accumulated after ``since`` was taken."""
+        return BufferSnapshot(
+            self.hits - since.hits,
+            self.misses - since.misses,
+            self.evictions - since.evictions,
+        )
 
     @property
     def hit_rate(self) -> float:

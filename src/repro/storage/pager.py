@@ -23,10 +23,29 @@ from dataclasses import dataclass, field
 
 from repro.errors import PageOverflowError, StorageError
 
-__all__ = ["DEFAULT_PAGE_SIZE", "PageAccessCounter", "RecordLocation", "PagedFile"]
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "PageSnapshot",
+    "PageAccessCounter",
+    "RecordLocation",
+    "PagedFile",
+]
 
 #: The paper's page size (§6.1): 4 K bytes.
 DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class PageSnapshot:
+    """An immutable reading of a :class:`PageAccessCounter`.
+
+    Snapshots are values, so any number of readers (nested tracing spans,
+    the harness, an exporter) can each hold their own reference point and
+    compute independent deltas — unlike a single mutable checkpoint slot.
+    """
+
+    logical: int = 0
+    physical: int = 0
 
 
 @dataclass(slots=True)
@@ -45,7 +64,7 @@ class PageAccessCounter:
 
     logical_reads: int = 0
     physical_reads: int = 0
-    _checkpoint: tuple[int, int] = field(default=(0, 0), repr=False)
+    _checkpoint: PageSnapshot = field(default=PageSnapshot(), repr=False)
 
     def record_read(self, *, hit: bool) -> None:
         """Record one page touch; ``hit`` marks a buffer-pool hit."""
@@ -57,18 +76,36 @@ class PageAccessCounter:
         """Zero all counters (start of an experiment)."""
         self.logical_reads = 0
         self.physical_reads = 0
-        self._checkpoint = (0, 0)
+        self._checkpoint = PageSnapshot()
+
+    def snapshot(self) -> PageSnapshot:
+        """The current totals as an immutable value.
+
+        Pair with :meth:`delta`: take a snapshot, do work, and read the
+        accesses that work performed.  Snapshots nest freely (each caller
+        owns its own), which is what the tracing spans rely on.
+        """
+        return PageSnapshot(self.logical_reads, self.physical_reads)
+
+    def delta(self, since: PageSnapshot) -> PageSnapshot:
+        """Reads accumulated after ``since`` was taken."""
+        return PageSnapshot(
+            self.logical_reads - since.logical,
+            self.physical_reads - since.physical,
+        )
 
     def checkpoint(self) -> None:
-        """Mark the current totals; :meth:`since_checkpoint` reports deltas."""
-        self._checkpoint = (self.logical_reads, self.physical_reads)
+        """Mark the current totals; :meth:`since_checkpoint` reports deltas.
+
+        A single mutable slot — kept for convenience; prefer the
+        :meth:`snapshot`/:meth:`delta` pair, which nests.
+        """
+        self._checkpoint = self.snapshot()
 
     def since_checkpoint(self) -> tuple[int, int]:
         """``(logical, physical)`` reads since the last checkpoint."""
-        return (
-            self.logical_reads - self._checkpoint[0],
-            self.physical_reads - self._checkpoint[1],
-        )
+        delta = self.delta(self._checkpoint)
+        return (delta.logical, delta.physical)
 
 
 @dataclass(frozen=True, slots=True)

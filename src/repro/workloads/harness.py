@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable, Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,11 +71,23 @@ class Measurement:
     pages: float
     seconds: float
     extra: dict = field(default_factory=dict)
+    breakdown: dict = field(default_factory=dict)
 
     @property
     def qps(self) -> float:
         """Throughput in queries per second."""
         return 1.0 / self.seconds if self.seconds > 0 else float("inf")
+
+
+def _traced(index, trace: bool):
+    """The index's tracing context when asked for (and available).
+
+    Indexes without a ``trace`` method (baseline structures under the
+    same harness) measure exactly as before.
+    """
+    if trace and hasattr(index, "trace"):
+        return index.trace()
+    return nullcontext(None)
 
 
 def measure_queries(
@@ -84,6 +97,7 @@ def measure_queries(
     nodes: Sequence[int],
     *,
     cold_buffer_per_query: bool = True,
+    trace: bool = False,
 ) -> Measurement:
     """Run ``run_query(node)`` per node; average page accesses and time.
 
@@ -95,20 +109,26 @@ def measure_queries(
     from its own locality, which is what the paper's per-query
     page-access counts reflect.  Without a pool, logical touches are
     reported.
+
+    ``trace=True`` runs the workload under the index's tracer and fills
+    :attr:`Measurement.breakdown` with per-span-kind aggregates
+    (``{name: {count, seconds, pages_logical, pages_physical}}``) — the
+    per-phase view of where the workload's cost went.
     """
     index.reset_counters()
     pool = getattr(index, "buffer_pool", None)
     result_sizes = 0
-    start = time.perf_counter()
-    for node in nodes:
-        if pool is not None and cold_buffer_per_query:
-            pool.clear()
-        result = run_query(node)
-        try:
-            result_sizes += len(result)  # type: ignore[arg-type]
-        except TypeError:
-            pass
-    elapsed = time.perf_counter() - start
+    with _traced(index, trace) as tracer:
+        start = time.perf_counter()
+        for node in nodes:
+            if pool is not None and cold_buffer_per_query:
+                pool.clear()
+            result = run_query(node)
+            try:
+                result_sizes += len(result)  # type: ignore[arg-type]
+            except TypeError:
+                pass
+        elapsed = time.perf_counter() - start
     count = max(len(nodes), 1)
     pages = (
         index.counter.physical_reads
@@ -121,6 +141,7 @@ def measure_queries(
         pages=pages / count,
         seconds=elapsed / count,
         extra={"mean_result_size": result_sizes / count},
+        breakdown=tracer.aggregate() if tracer is not None else {},
     )
 
 
@@ -129,6 +150,8 @@ def measure_batch_queries(
     index,
     run_batch: Callable[[Sequence[int]], Sequence[object]],
     nodes: Sequence[int],
+    *,
+    trace: bool = False,
 ) -> Measurement:
     """Run one batched call over all ``nodes``; report per-query averages.
 
@@ -136,12 +159,14 @@ def measure_batch_queries(
     answers the whole workload in one vectorized pass, so the buffer pool
     is cleared once up front (per-query cold buffers would defeat the
     batch).  ``pages``/``seconds`` are still normalized per query so the
-    two measurement styles compare directly.
+    two measurement styles compare directly.  ``trace`` works as in
+    :func:`measure_queries`.
     """
     index.reset_counters()
-    start = time.perf_counter()
-    results = run_batch(nodes)
-    elapsed = time.perf_counter() - start
+    with _traced(index, trace) as tracer:
+        start = time.perf_counter()
+        results = run_batch(nodes)
+        elapsed = time.perf_counter() - start
     count = max(len(nodes), 1)
     pool = getattr(index, "buffer_pool", None)
     pages = (
@@ -161,6 +186,7 @@ def measure_batch_queries(
         pages=pages / count,
         seconds=elapsed / count,
         extra={"mean_result_size": result_sizes / count},
+        breakdown=tracer.aggregate() if tracer is not None else {},
     )
 
 

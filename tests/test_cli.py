@@ -116,6 +116,91 @@ class TestQueries:
         assert got == expected
 
 
+class TestStats:
+    def test_stats_table(self, workspace, capsys):
+        _, _, idx = workspace
+        capsys.readouterr()
+        assert main(["stats", str(idx), "--queries", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "query.range_batch.count" in out
+        assert "query.knn.count" in out
+        assert "histogram" in out
+
+    def test_stats_json_lines_parse(self, workspace, capsys):
+        import json
+
+        _, _, idx = workspace
+        capsys.readouterr()
+        assert main([
+            "stats", str(idx), "--queries", "5", "--format", "json",
+        ]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert lines
+        names = {item["name"] for item in lines}
+        assert "query.knn.count" in names
+        assert all("type" in item for item in lines)
+
+    def test_stats_prometheus(self, workspace, capsys):
+        _, _, idx = workspace
+        capsys.readouterr()
+        assert main([
+            "stats", str(idx), "--queries", "5", "--format", "prometheus",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_query_knn_count counter" in out
+        assert "repro_query_knn_count_total" in out
+
+
+class TestTrace:
+    def test_trace_range_tree(self, workspace, capsys):
+        _, _, idx = workspace
+        capsys.readouterr()
+        assert main([
+            "trace", str(idx), "range", "--node", "0", "--radius", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("query.range")
+        assert "pages=" in out
+
+    def test_trace_knn_json(self, workspace, capsys):
+        import json
+
+        _, _, idx = workspace
+        capsys.readouterr()
+        assert main([
+            "trace", str(idx), "knn",
+            "--node", "0", "--k", "3", "--format", "json",
+        ]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert lines[0]["name"] == "query.knn"
+        assert lines[0]["depth"] == 0
+        assert lines[0]["pages_logical"] > 0
+
+
+class TestVerbose:
+    def test_verbose_flag_enables_info_logging(self, workspace, capsys):
+        import logging
+
+        from repro.obs import configure_logging
+
+        _, _, idx = workspace
+        try:
+            assert main(["-v", "info", str(idx)]) == 0
+            assert logging.getLogger("repro").level == logging.INFO
+            assert main(["-vv", "info", str(idx)]) == 0
+            assert logging.getLogger("repro").level == logging.DEBUG
+        finally:
+            configure_logging(0)  # leave the suite quiet
+
+
 class TestErrors:
     def test_library_errors_become_exit_code_1(self, workspace, capsys):
         _, _, idx = workspace

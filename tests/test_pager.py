@@ -35,6 +35,37 @@ class TestCounter:
         counter.record_read(hit=True)
         assert counter.since_checkpoint() == (2, 1)
 
+    def test_snapshot_is_an_immutable_value(self):
+        counter = PageAccessCounter()
+        counter.record_read(hit=False)
+        snap = counter.snapshot()
+        assert (snap.logical, snap.physical) == (1, 1)
+        counter.record_read(hit=True)
+        # The snapshot is a value, not a view: it does not move.
+        assert (snap.logical, snap.physical) == (1, 1)
+        delta = counter.delta(snap)
+        assert (delta.logical, delta.physical) == (1, 0)
+
+    def test_nested_snapshot_deltas_are_independent(self):
+        """Nested readers (tracing spans) each own their reference point."""
+        counter = PageAccessCounter()
+        outer = counter.snapshot()
+        counter.record_read(hit=False)
+        inner = counter.snapshot()
+        counter.record_read(hit=False)
+        counter.record_read(hit=True)
+        inner_delta = counter.delta(inner)
+        assert (inner_delta.logical, inner_delta.physical) == (2, 1)
+        # Reading the inner delta must not disturb the outer one — the
+        # regression the single mutable checkpoint slot cannot pass.
+        outer_delta = counter.delta(outer)
+        assert (outer_delta.logical, outer_delta.physical) == (3, 2)
+        # And the legacy checkpoint API keeps working alongside snapshots.
+        counter.checkpoint()
+        counter.record_read(hit=False)
+        assert counter.since_checkpoint() == (1, 1)
+        assert counter.delta(outer).logical == 4
+
 
 class TestPlacementSpanning:
     def test_records_pack_back_to_back(self):
