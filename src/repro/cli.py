@@ -12,6 +12,8 @@ repro query index_dir range --node 42 --radius 50
 repro query index_dir distance --node 42 --object 137
 repro stats index_dir --queries 50 --format table
 repro trace index_dir range --node 42 --radius 50
+repro serve index_dir --port 8080
+repro loadgen --port 8080 --clients 64 --duration 5
 ```
 
 ``-v`` / ``-vv`` (before the subcommand) raises the log level of the
@@ -156,6 +158,77 @@ def _build_parser() -> argparse.ArgumentParser:
         default="table",
         dest="out_format",
         help="export format for the metrics snapshot",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve an index over JSON/HTTP (see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "index_dir",
+        nargs="?",
+        default=None,
+        help="persisted index to serve (omit with --demo-nodes)",
+    )
+    serve.add_argument(
+        "--demo-nodes",
+        type=int,
+        default=0,
+        help=(
+            "skip index_dir: build and serve an in-memory index over a "
+            "random planar network of this many nodes"
+        ),
+    )
+    serve.add_argument("--demo-seed", type=int, default=0)
+    serve.add_argument(
+        "--demo-density",
+        type=float,
+        default=0.02,
+        help="object density of the --demo-nodes dataset",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--max-pending", type=int, default=256)
+    serve.add_argument("--deadline-ms", type=float, default=1000.0)
+    serve.add_argument("--shed-latency-ms", type=float, default=500.0)
+    serve.add_argument("--degrade-latency-ms", type=float, default=250.0)
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="dispatch every request alone (sets max_batch to 1)",
+    )
+    serve.add_argument(
+        "--decoded-cache",
+        type=int,
+        default=None,
+        metavar="CAPACITY",
+        help="enable the decoded-row cache (0 = unbounded)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running server with synthetic load"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8080)
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed"
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=16, help="closed-loop user count"
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=500.0, help="open-loop arrivals/sec"
+    )
+    loadgen.add_argument("--duration", type=float, default=5.0)
+    loadgen.add_argument("--radius", type=float, default=100.0)
+    loadgen.add_argument("--k", type=int, default=5)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--fail-on-error",
+        action="store_true",
+        help="exit 1 if any request errored (CI smoke gating)",
     )
 
     trace = sub.add_parser(
@@ -324,6 +397,99 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import QueryServer, ServeConfig
+
+    if args.demo_nodes > 0:
+        network = random_planar_network(args.demo_nodes, seed=args.demo_seed)
+        dataset = uniform_dataset(
+            network, density=args.demo_density, seed=args.demo_seed
+        )
+        print(
+            f"demo index: {network.num_nodes} nodes, {len(dataset)} objects",
+            file=sys.stderr,
+        )
+        index = SignatureIndex.build(network, dataset, keep_trees=True)
+    elif args.index_dir:
+        index = load_index(args.index_dir)
+    else:
+        print(
+            "error: serve needs an index_dir or --demo-nodes", file=sys.stderr
+        )
+        return 2
+    if args.decoded_cache is not None:
+        index.enable_decoded_cache(
+            None if args.decoded_cache == 0 else args.decoded_cache
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=1 if args.no_coalesce else args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        deadline_ms=args.deadline_ms,
+        shed_latency_ms=args.shed_latency_ms,
+        degrade_latency_ms=args.degrade_latency_ms,
+    )
+    server = QueryServer(index, config)
+
+    async def _run() -> None:
+        await server.serve_forever()
+
+    print(
+        f"serving on http://{config.host}:{config.port} "
+        f"(max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms:g})",
+        flush=True,
+    )
+    asyncio.run(_run())
+    snapshot = index.metrics.snapshot()
+    served = snapshot["counters"].get("serve.requests", 0)
+    print(
+        json.dumps({"served_requests": served, "drained": True}), flush=True
+    )
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ServeClient, closed_loop, mixed_workload, open_loop
+
+    async def _run():
+        async with ServeClient(args.host, args.port) as probe:
+            health = await probe.healthz()
+            num_nodes = health.payload["nodes"]
+        workload = mixed_workload(
+            num_nodes, radius=args.radius, k=args.k, seed=args.seed
+        )
+        if args.mode == "closed":
+            return await closed_loop(
+                args.host,
+                args.port,
+                clients=args.clients,
+                duration_s=args.duration,
+                workload=workload,
+            )
+        return await open_loop(
+            args.host,
+            args.port,
+            rate_rps=args.rate,
+            duration_s=args.duration,
+            workload=workload,
+        )
+
+    stats = asyncio.run(_run())
+    print(json.dumps(stats.summary(), indent=2))
+    if args.fail_on_error and stats.errors:
+        print(f"error: {stats.errors} failed requests", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import render_trace, trace_to_json_lines
 
@@ -348,6 +514,8 @@ _COMMANDS = {
     "network-info": _cmd_network_info,
     "query": _cmd_query,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "trace": _cmd_trace,
 }
 

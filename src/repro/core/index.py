@@ -22,6 +22,7 @@ Typical use::
 from __future__ import annotations
 
 import math
+import operator
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -81,6 +82,65 @@ _SIZE_KINDS = ("raw", "encoded", "compressed")
 _QUERY_ENGINES = ("vectorized", "scalar")
 
 
+def _coerce_batch_nodes(nodes) -> list[int]:
+    """Normalize a batch node argument to a plain ``list[int]``.
+
+    Accepts any iterable of integers — lists, tuples, generators, numpy
+    integer arrays (any width), numpy scalars — including the empty
+    batch.  Rejects floats (even integral ones: a silently truncated
+    node id is a wrong answer, not a convenience), multi-dimensional
+    arrays, and non-numeric values with a :class:`QueryError`, which is
+    also a :class:`ValueError` so service layers can map it to a 400.
+    """
+    if isinstance(nodes, np.ndarray):
+        arr = nodes
+    else:
+        try:
+            arr = np.asarray(list(nodes))
+        except TypeError:
+            raise QueryError(
+                f"batch nodes must be an iterable of integers, got "
+                f"{type(nodes).__name__}"
+            ) from None
+    if arr.ndim != 1:
+        raise QueryError(
+            f"batch nodes must be one-dimensional, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        return []
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise QueryError(
+            f"batch nodes must be integers, got dtype {arr.dtype}"
+        )
+    return [int(node) for node in arr]
+
+
+def _coerce_radius(radius) -> float:
+    """Validate a range radius: a finite, non-negative number."""
+    try:
+        radius = float(radius)
+    except (TypeError, ValueError):
+        raise QueryError(
+            f"radius must be a number, got {radius!r}"
+        ) from None
+    if not math.isfinite(radius) or radius < 0:
+        raise QueryError(
+            f"range radius must be finite and non-negative, got {radius}"
+        )
+    return radius
+
+
+def _coerce_k(k) -> int:
+    """Validate a kNN ``k``: an integer >= 1 (floats are rejected)."""
+    try:
+        k = int(operator.index(k))
+    except TypeError:
+        raise QueryError(f"k must be an integer, got {k!r}") from None
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    return k
+
+
 @dataclass(frozen=True, slots=True)
 class IndexStorageReport:
     """On-disk and in-memory footprint of a signature index.
@@ -133,6 +193,24 @@ class SignatureIndex:
 
     Build with :meth:`build`; the constructor wires pre-assembled pieces
     and is mostly useful to tests.
+
+    Concurrency
+    -----------
+    The facade is **not** thread-safe — even read-only queries mutate
+    shared state: the page-access :attr:`counter`, the
+    :attr:`decompressions` tally, the decoded-row LRU (:attr:`decoded`),
+    the buffer pool, every metrics instrument, and the active tracer.
+    Two constraints follow, and :mod:`repro.serve` is built around them:
+
+    * concurrent *queries* must be serialized onto one thread (an asyncio
+      event loop qualifies: facade calls are synchronous and never yield,
+      so interleaving happens only at call boundaries) — this is exactly
+      what makes request *coalescing* attractive: many logical clients,
+      one ``range_query_batch`` sweep;
+    * *updates* (§5.4) must additionally be ordered against in-flight
+      query batches, because they rewrite signature rows and spanning
+      trees non-atomically; :class:`repro.serve.UpdateCoordinator`
+      provides the readers-writer lock for that.
     """
 
     def __init__(
@@ -562,8 +640,14 @@ class SignatureIndex:
         Returns a list (aligned with ``nodes``) of per-query results in
         the same shape :meth:`range_query` produces.  Available on either
         engine; the scalar engine simply loops.
+
+        ``nodes`` may be any iterable of integers (list, tuple, numpy
+        integer array), including empty; ``radius`` must be a finite
+        number >= 0.  Violations raise :class:`~repro.errors.QueryError`
+        (a :class:`ValueError`).
         """
-        nodes = [int(node) for node in nodes]
+        nodes = _coerce_batch_nodes(nodes)
+        radius = _coerce_radius(radius)
         with self._scope(
             "query.range_batch", count=len(nodes), radius=radius
         ) as span:
@@ -604,8 +688,15 @@ class SignatureIndex:
         return [self.dataset[rank] for rank in result]
 
     def knn_batch(self, nodes, k: int, *, knn_type: KnnType = KnnType.SET):
-        """One kNN query per node of ``nodes``, in one vectorized pass."""
-        nodes = [int(node) for node in nodes]
+        """One kNN query per node of ``nodes``, in one vectorized pass.
+
+        Input handling matches :meth:`range_query_batch`: any iterable of
+        integers (including empty) for ``nodes``; ``k`` must be an
+        integer >= 1, enforced with a :class:`~repro.errors.QueryError`
+        (a :class:`ValueError`).
+        """
+        nodes = _coerce_batch_nodes(nodes)
+        k = _coerce_k(k)
         with self._scope("query.knn_batch", count=len(nodes), k=k) as span:
             if self.query_engine == "vectorized":
                 batched = vectorized.knn_query_batch(

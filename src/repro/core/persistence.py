@@ -167,6 +167,11 @@ def save_index(index, directory: str | Path) -> None:
     payload = serialize_table(index.table, encoding=encoding)
     writer_bits = _count_bits(index.table, encoding)
     (directory / "signatures.bin").write_bytes(payload)
+    if index.decoded.row_caching:
+        capacity = index.decoded.capacity
+        cache_spec = "unbounded" if capacity is None else str(capacity)
+    else:
+        cache_spec = "off"
     meta = [
         _MAGIC,
         "boundaries " + " ".join(repr(b) for b in index.partition.boundaries),
@@ -174,6 +179,8 @@ def save_index(index, directory: str | Path) -> None:
         f"encoding {encoding}",
         f"bits {writer_bits}",
         f"drop_last {int(index.object_table._drop_last_category)}",
+        f"query_engine {index.query_engine}",
+        f"decoded_cache {cache_spec}",
     ]
     (directory / "meta.txt").write_text("\n".join(meta) + "\n")
 
@@ -243,6 +250,11 @@ def load_index(directory: str | Path):
         distances, partition, drop_last_category=meta.get("drop_last") == "1"
     )
 
+    # Restore the serving-relevant configuration (engine choice and
+    # decoded-cache enablement) so a reloaded index answers queries
+    # through the same code paths — a served index restarted from disk
+    # must behave identically.  Pre-existing saves lack these keys and
+    # fall back to the construction-time defaults.
     index = SignatureIndex(
         network,
         dataset,
@@ -250,7 +262,13 @@ def load_index(directory: str | Path):
         table,
         object_table,
         stored_kind=encoding,
+        query_engine=meta.get("query_engine", "vectorized"),
     )
+    cache_spec = meta.get("decoded_cache", "off")
+    if cache_spec != "off":
+        index.enable_decoded_cache(
+            None if cache_spec == "unbounded" else int(cache_spec)
+        )
     if table.compressed.any():
         # Restore the logical categories of flagged components and the
         # base bookkeeping, so resolution works without a scan per read.

@@ -70,8 +70,14 @@ class IndexError_(ReproError):
     """
 
 
-class QueryError(ReproError):
-    """A query is malformed (e.g. negative range radius, k < 1)."""
+class QueryError(ReproError, ValueError):
+    """A query is malformed (e.g. negative range radius, k < 1).
+
+    Also a :class:`ValueError`, so layers that never import ``repro``
+    error types — the serving HTTP handlers mapping bad parameters to
+    400s, generic argument validation in callers — can catch it without
+    special-casing the library hierarchy.
+    """
 
 
 class UpdateError(ReproError):

@@ -1,0 +1,167 @@
+"""Admission control: bounded queueing, load shedding, degraded mode.
+
+An overloaded closed system gets slower; an overloaded open system gets
+*unboundedly* slower — the pending queue grows without limit and every
+request eventually times out.  The admission controller keeps the served
+latency distribution bounded instead, with three escalating responses
+driven by two signals (the pending-request count and an EWMA of served
+latency):
+
+1. **degrade** — latency EWMA above ``degrade_latency_ms``: range/kNN
+   requests are answered from the §3.2 category-only approximate path
+   (one signature record, no backtracking) and flagged
+   ``"approximate": true``, trading boundary-category precision for an
+   order of magnitude of headroom;
+2. **shed 503** — EWMA above ``shed_latency_ms``: the exact path is
+   already blowing deadlines, so new work is refused outright;
+3. **shed 429** — ``max_pending`` admitted requests are in flight: the
+   queue is full, the client should back off and retry.
+
+Every admitted request also carries a deadline (``deadline_ms``),
+enforced with ``asyncio.timeout`` cancellation around its wait — a
+request that cannot be answered in time is cancelled and reported shed,
+never silently served late.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import sys
+import time
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.serve.config import ServeConfig
+
+__all__ = ["AdmissionController", "Rejected", "deadline_scope"]
+
+
+if sys.version_info >= (3, 11):
+    def deadline_scope(seconds: float):
+        """An ``asyncio.timeout`` cancellation scope of ``seconds``."""
+        return asyncio.timeout(seconds)
+else:  # pragma: no cover - exercised only on 3.10 CI
+    @contextlib.asynccontextmanager
+    async def deadline_scope(seconds: float):
+        """3.10 fallback: emulate ``asyncio.timeout`` with a watchdog."""
+        task = asyncio.current_task()
+        loop = asyncio.get_running_loop()
+        timed_out = False
+
+        def _expire() -> None:
+            nonlocal timed_out
+            timed_out = True
+            task.cancel()
+
+        handle = loop.call_later(seconds, _expire)
+        try:
+            yield
+        except asyncio.CancelledError:
+            if timed_out:
+                raise TimeoutError from None
+            raise
+        finally:
+            handle.cancel()
+
+
+class Rejected(Exception):
+    """A request refused before (or instead of) service.
+
+    ``status`` is the HTTP code the server answers with (429 queue-full,
+    503 overload/deadline); ``reason`` is a short machine-readable tag.
+    """
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(f"{status}: {reason}")
+        self.status = status
+        self.reason = reason
+
+
+class AdmissionController:
+    """Decides, per request: admit exactly, admit degraded, or shed.
+
+    The latency EWMA is recorded over *served* requests (admitted and
+    completed, exact or degraded), in milliseconds.  It is deliberately
+    optimistic at startup (EWMA 0 → everything exact) and recovers on
+    its own: degraded answers are fast, so serving them pulls the EWMA
+    back below the threshold and exact service resumes — the classic
+    brownout loop.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.pending = 0
+        self.ewma_ms = 0.0
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._metric_pending = registry.gauge("serve.pending")
+        self._metric_admitted = registry.counter("serve.admitted")
+        self._metric_degraded = registry.counter("serve.degraded")
+        self._metric_shed_429 = registry.counter("serve.shed.429")
+        self._metric_shed_503 = registry.counter("serve.shed.503")
+        self._metric_deadline = registry.counter("serve.deadline_timeouts")
+        self._metric_latency = registry.histogram("serve.latency_seconds")
+        self._metric_ewma = registry.gauge("serve.latency_ewma_ms")
+
+    # ------------------------------------------------------------------
+    def admit(self, *, degradable: bool = False) -> bool:
+        """Gate one request.  Returns whether to serve it *degraded*.
+
+        Raises :class:`Rejected` when the request must be shed.  Order
+        matters: a full queue is a 429 regardless of latency; an
+        over-threshold EWMA sheds 503 unless the request is degradable
+        (range/kNN), in which case the cheaper approximate path absorbs
+        the load first and only the ``shed_latency_ms`` line sheds.
+        """
+        if self.pending >= self.config.max_pending:
+            self._metric_shed_429.inc()
+            raise Rejected(429, "queue_full")
+        if self.ewma_ms > self.config.shed_latency_ms:
+            self._metric_shed_503.inc()
+            raise Rejected(503, "overload")
+        if degradable and self.ewma_ms > self.config.degrade_latency_ms:
+            self._metric_degraded.inc()
+            return True
+        return False
+
+    @contextlib.contextmanager
+    def slot(self):
+        """Track one admitted request for its lifetime.
+
+        Records the pending gauge on entry/exit and the latency
+        (EWMA + histogram) on normal completion; a deadline timeout is
+        recorded by :meth:`timed_out` instead.
+        """
+        self.pending += 1
+        self._metric_pending.set(self.pending)
+        self._metric_admitted.inc()
+        start = time.perf_counter()
+        try:
+            yield
+            self.observe(time.perf_counter() - start)
+        finally:
+            self.pending -= 1
+            self._metric_pending.set(self.pending)
+
+    def observe(self, latency_s: float) -> None:
+        """Fold one served latency into the EWMA and the histogram."""
+        self._metric_latency.observe(latency_s)
+        alpha = self.config.ewma_alpha
+        self.ewma_ms = alpha * (latency_s * 1_000.0) + (1 - alpha) * self.ewma_ms
+        self._metric_ewma.set(self.ewma_ms)
+
+    def timed_out(self) -> Rejected:
+        """Record a blown deadline; returns the 503 to answer with.
+
+        The deadline itself feeds the EWMA (the request *took* at least
+        the deadline), so sustained timeouts push the controller toward
+        degrading and shedding instead of admitting more doomed work.
+        """
+        self._metric_deadline.inc()
+        self._metric_shed_503.inc()
+        self.observe(self.config.deadline_ms / 1_000.0)
+        return Rejected(503, "deadline")

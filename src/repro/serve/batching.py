@@ -1,0 +1,178 @@
+"""Micro-batching request coalescer.
+
+Concurrent clients each ask one question about one node; the vectorized
+engine (PR 1) answers B questions in one ``(B, D)`` sweep for barely more
+than the cost of one.  The coalescer is the adapter between the two
+shapes: single-node requests that share *compatible parameters* (same
+query kind, same radius / k / flags) land in one bucket, the bucket is
+dispatched through ``range_query_batch`` / ``knn_batch`` when it fills
+(``max_batch``) or after a short linger (``max_wait_ms``), and each
+caller gets exactly the slice of the batched answer that is theirs.
+
+The dispatch callable runs synchronously on the event loop — see the
+"Concurrency" section of :class:`~repro.core.index.SignatureIndex`: the
+facade is single-thread-only, and running batches inline means queries
+never interleave mid-sweep.  Fairness comes from the batching itself:
+while one sweep runs, newly arriving requests accumulate into the next
+bucket instead of queueing head-of-line.  A ``gate`` (the
+:meth:`~repro.serve.coordinator.UpdateCoordinator.read` side of the
+readers-writer lock) is acquired around each dispatch so §5.4 updates
+never land mid-batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections.abc import Callable, Hashable, Sequence
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+__all__ = ["BatchKey", "Coalescer"]
+
+
+class BatchKey:
+    """Identity of a coalescable request family.
+
+    Two requests may share a batch iff their keys are equal: same
+    ``kind`` (``"range"`` / ``"knn"``) and same parameter tuple (radius
+    and flags, or k).  Hashable, so it indexes the coalescer's buckets.
+    """
+
+    __slots__ = ("kind", "params")
+
+    def __init__(self, kind: str, params: tuple[Hashable, ...]) -> None:
+        self.kind = kind
+        self.params = params
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BatchKey)
+            and self.kind == other.kind
+            and self.params == other.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.params))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchKey({self.kind!r}, {self.params!r})"
+
+
+class _Bucket:
+    """One in-formation batch: nodes, their futures, and a linger timer."""
+
+    __slots__ = ("key", "nodes", "futures", "timer")
+
+    def __init__(self, key: BatchKey) -> None:
+        self.key = key
+        self.nodes: list[int] = []
+        self.futures: list[asyncio.Future] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class Coalescer:
+    """Buffers single-node requests into parameter-compatible batches.
+
+    ``dispatch(key, nodes)`` must return a list aligned with ``nodes``
+    (exactly the contract of
+    :meth:`~repro.core.index.SignatureIndex.range_query_batch`).  It is
+    invoked synchronously on the event loop, under ``gate()`` when one
+    is provided; if it raises, every waiter of that batch receives the
+    exception.
+
+    With ``max_batch=1`` every request dispatches immediately — the
+    uncoalesced baseline the serving benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[BatchKey, Sequence[int]], list],
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        gate: Callable[[], Any] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._dispatch = dispatch
+        self._gate = gate
+        self.max_batch = max(int(max_batch), 1)
+        self.max_wait = max(float(max_wait_ms), 0.0) / 1_000.0
+        self._buckets: dict[BatchKey, _Bucket] = {}
+        self._inflight: set[asyncio.Task] = set()
+        registry = registry if registry is not None else NULL_REGISTRY
+        self.bind_metrics(registry)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Point the coalescer's instruments at ``registry``."""
+        self._metric_batches = registry.counter("serve.batches")
+        self._metric_coalesced = registry.counter("serve.coalesced_requests")
+        self._metric_batch_size = registry.histogram("serve.batch_size")
+
+    # ------------------------------------------------------------------
+    async def submit(self, key: BatchKey, node: int) -> Any:
+        """Enqueue one request; resolves to this node's slice of the batch."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(key)
+            if self.max_batch > 1 and self.max_wait > 0:
+                bucket.timer = loop.call_later(
+                    self.max_wait, self.flush, bucket.key
+                )
+        bucket.nodes.append(node)
+        bucket.futures.append(future)
+        if len(bucket.nodes) >= self.max_batch:
+            self.flush(key)
+        return await future
+
+    def flush(self, key: BatchKey) -> None:
+        """Start dispatching ``key``'s bucket now (no-op if empty)."""
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+            bucket.timer = None
+        self._metric_batches.inc()
+        self._metric_coalesced.inc(len(bucket.nodes))
+        self._metric_batch_size.observe(len(bucket.nodes))
+        task = asyncio.ensure_future(self._run(bucket))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run(self, bucket: _Bucket) -> None:
+        """Acquire the gate, dispatch, and resolve the bucket's futures."""
+        gate = self._gate() if self._gate is not None else contextlib.nullcontext()
+        try:
+            async with gate:
+                results = self._dispatch(bucket.key, bucket.nodes)
+            if len(results) != len(bucket.nodes):
+                raise RuntimeError(
+                    f"batch dispatch returned {len(results)} results for "
+                    f"{len(bucket.nodes)} requests"
+                )
+        except BaseException as exc:
+            for future in bucket.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return
+        for future, result in zip(bucket.futures, results):
+            if not future.done():  # a waiter may have hit its deadline
+                future.set_result(result)
+
+    async def drain(self) -> None:
+        """Dispatch every buffered bucket and wait for in-flight batches."""
+        for key in list(self._buckets):
+            self.flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    @property
+    def pending(self) -> int:
+        """Requests currently buffered and not yet dispatched."""
+        return sum(len(b.nodes) for b in self._buckets.values())

@@ -1,0 +1,192 @@
+"""A minimal asyncio client for the query service.
+
+Stdlib-only counterpart of :mod:`repro.serve.server`: one persistent
+keep-alive connection per :class:`ServeClient`, JSON bodies over POST,
+typed helpers per endpoint.  The load generator opens one client per
+simulated user; tests use it directly.
+
+Synchronous convenience::
+
+    with sync_client("127.0.0.1", 8080) as call:
+        print(call("range", node=3, radius=50.0))
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+__all__ = ["ServeClient", "ServeResponse", "sync_client"]
+
+
+class ServeResponse:
+    """One HTTP answer: ``status``, parsed ``payload``, raw ``text``."""
+
+    __slots__ = ("status", "payload", "text")
+
+    def __init__(self, status: int, payload, text: str) -> None:
+        self.status = status
+        self.payload = payload
+        self.text = text
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServeResponse(status={self.status}, payload={self.payload!r})"
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`~repro.serve.QueryServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._writer.wait_closed()
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> ServeResponse:
+        """Issue one request, reconnecting once if the connection dropped."""
+        if self._writer is None:
+            await self.connect()
+        try:
+            return await self._roundtrip(method, path, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            # The server may have dropped an idle keep-alive connection
+            # (e.g. across a drain); retry once on a fresh one.
+            await self.close()
+            await self.connect()
+            return await self._roundtrip(method, path, payload)
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: dict | None
+    ) -> ServeResponse:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode()
+        request = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode() + body
+        self._writer.write(request)
+        await self._writer.drain()
+
+        # One readuntil consumes the whole header block — the client is
+        # the measuring side of every loadgen run, so its per-request
+        # overhead bounds the throughput it can observe.
+        try:
+            block = await self._reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                raise ConnectionError("server closed the connection") from None
+            raise ConnectionError("truncated response headers") from None
+        lines = block.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        raw = await self._reader.readexactly(length) if length else b""
+        text = raw.decode()
+        if headers.get("content-type", "").startswith("application/json"):
+            parsed = json.loads(text) if text else None
+        else:
+            parsed = text
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return ServeResponse(status, parsed, text)
+
+    # -- typed endpoint helpers ----------------------------------------
+    async def range(
+        self, node: int, radius: float, *, with_distances: bool = False
+    ) -> ServeResponse:
+        return await self.request(
+            "POST",
+            "/v1/range",
+            {"node": node, "radius": radius, "with_distances": with_distances},
+        )
+
+    async def knn(
+        self, node: int, k: int, *, with_distances: bool = False
+    ) -> ServeResponse:
+        return await self.request(
+            "POST",
+            "/v1/knn",
+            {"node": node, "k": k, "with_distances": with_distances},
+        )
+
+    async def distance(self, node: int, object_node: int) -> ServeResponse:
+        return await self.request(
+            "POST", "/v1/distance", {"node": node, "object": object_node}
+        )
+
+    async def aggregate(
+        self, node: int, radius: float, aggregate: str = "count"
+    ) -> ServeResponse:
+        return await self.request(
+            "POST",
+            "/v1/aggregate",
+            {"node": node, "radius": radius, "aggregate": aggregate},
+        )
+
+    async def update_edge(
+        self, op: str, u: int, v: int, weight: float | None = None
+    ) -> ServeResponse:
+        payload = {"op": op, "u": u, "v": v}
+        if weight is not None:
+            payload["weight"] = weight
+        return await self.request("POST", "/v1/edges", payload)
+
+    async def healthz(self) -> ServeResponse:
+        return await self.request("GET", "/healthz")
+
+    async def metrics_text(self) -> str:
+        response = await self.request("GET", "/metrics")
+        return response.text
+
+
+@contextlib.contextmanager
+def sync_client(host: str, port: int):
+    """A blocking call-style client for scripts and doc examples.
+
+    Yields ``call(endpoint, **params)`` where ``endpoint`` is one of
+    ``range/knn/distance/aggregate/update_edge/healthz``; each call runs
+    its own short-lived event loop, so do not use it inside async code.
+    """
+    async def _issue(endpoint: str, params: dict) -> ServeResponse:
+        async with ServeClient(host, port) as client:
+            return await getattr(client, endpoint)(**params)
+
+    def call(endpoint: str, **params) -> ServeResponse:
+        return asyncio.run(_issue(endpoint, params))
+
+    yield call

@@ -1,0 +1,87 @@
+"""Serving configuration: one dataclass, every knob documented.
+
+The defaults target the interactive regime the ROADMAP's north star
+describes — many concurrent clients issuing single-node queries — where
+micro-batching (a few milliseconds of linger, tens of requests per
+sweep) buys an order of magnitude of served throughput from the PR-1
+vectorized engine while staying far below human-perceptible latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import QueryError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Knobs for :class:`repro.serve.QueryServer` and its components.
+
+    Coalescing (:mod:`repro.serve.batching`):
+
+    * ``max_batch`` — flush a bucket as soon as it holds this many
+      requests (1 disables coalescing: every request dispatches alone);
+    * ``max_wait_ms`` — flush a non-full bucket after this linger; the
+      worst-case latency tax a lone request pays for batchability.
+
+    Admission control (:mod:`repro.serve.admission`):
+
+    * ``max_pending`` — bound on admitted-but-unfinished requests;
+      beyond it new requests are shed with HTTP 429;
+    * ``deadline_ms`` — per-request deadline; a request that cannot
+      complete in time is cancelled and answered 503;
+    * ``shed_latency_ms`` — when the EWMA of served latency exceeds
+      this, requests are shed with 503 before queueing (load shedding
+      keeps latency bounded instead of letting the queue grow);
+    * ``degrade_latency_ms`` — when the EWMA exceeds this (but not yet
+      ``shed_latency_ms``), range/kNN answers switch to the §3.2
+      category-only approximate path and carry ``"approximate": true``;
+    * ``ewma_alpha`` — smoothing factor of the latency EWMA.
+
+    Server:
+
+    * ``host`` / ``port`` — listen address (port 0 picks an ephemeral
+      port, reported by :meth:`QueryServer.start`);
+    * ``drain_timeout_s`` — how long graceful shutdown waits for
+      in-flight requests before closing connections anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    max_pending: int = 256
+    deadline_ms: float = 1_000.0
+    shed_latency_ms: float = 500.0
+    degrade_latency_ms: float = 250.0
+    ewma_alpha: float = 0.2
+    drain_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise QueryError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise QueryError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_pending < 1:
+            raise QueryError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        for name in ("deadline_ms", "shed_latency_ms", "degrade_latency_ms"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise QueryError(f"{name} must be > 0, got {value}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise QueryError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+
+    def replace(self, **changes) -> "ServeConfig":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update(changes)
+        return ServeConfig(**values)

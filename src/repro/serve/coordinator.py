@@ -1,0 +1,171 @@
+"""Read/write coordination: §5.4 updates vs in-flight query batches.
+
+Queries only *read* index structures (they do mutate counters and
+caches, which is why everything runs on one event loop — see the
+"Concurrency" section of :class:`~repro.core.index.SignatureIndex`), but
+§5.4 incremental updates rewrite signature rows, spanning trees, and the
+paged layout non-atomically.  A query batch that interleaved with an
+update could see half-propagated categories — a torn read.
+
+:class:`ReadWriteLock` is a write-preferring asyncio readers-writer
+lock: any number of query batches share the read side; an update takes
+the write side alone, and once a writer is waiting, new readers queue
+behind it so sustained query traffic cannot starve updates.
+
+:class:`UpdateCoordinator` wraps an index with that lock: batch
+dispatches run under :meth:`read`, ``POST /v1/edges`` mutations run
+under :meth:`write` via :meth:`apply`.  Decoded-row staleness is handled
+by the §5.4 machinery itself (``update.py`` invalidates the decoded
+cache precisely, per touched node — asserted by the interleaving stress
+test in ``tests/test_serve_coordinator.py``); the coordinator's job is
+ordering, plus a wholesale invalidation whenever an update forced a
+storage re-pack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.errors import QueryError
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+__all__ = ["ReadWriteLock", "UpdateCoordinator"]
+
+
+class ReadWriteLock:
+    """A write-preferring readers-writer lock for one event loop.
+
+    ``async with lock.read():`` — shared; ``async with lock.write():`` —
+    exclusive.  Writers are preferred: while any writer waits, newly
+    arriving readers block, so a stream of overlapping reads cannot
+    postpone a write forever.  Not reentrant.
+    """
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self._condition = asyncio.Condition()
+
+    @contextlib.asynccontextmanager
+    async def read(self):
+        async with self._condition:
+            while self._writer_active or self._writers_waiting:
+                await self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextlib.asynccontextmanager
+    async def write(self):
+        async with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    await self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            async with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+    @property
+    def readers(self) -> int:
+        """Readers currently inside the lock (introspection / tests)."""
+        return self._readers
+
+    @property
+    def write_locked(self) -> bool:
+        """Whether a writer currently holds the lock."""
+        return self._writer_active
+
+
+#: ``POST /v1/edges`` operations → the facade methods they call.
+_EDGE_OPS = ("add", "remove", "set_weight")
+
+
+class UpdateCoordinator:
+    """Serializes index mutations against in-flight query batches.
+
+    One instance per served index.  Query dispatch paths enter
+    :meth:`read`; :meth:`apply` performs a §5.4 edge mutation under
+    :meth:`write` and returns the
+    :class:`~repro.core.update.UpdateReport`.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.index = index
+        self.lock = ReadWriteLock()
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._metric_updates = registry.counter("serve.updates")
+        self._metric_update_errors = registry.counter("serve.update_errors")
+        self._metric_update_seconds = registry.histogram(
+            "serve.update_seconds"
+        )
+
+    def read(self):
+        """Shared-side context manager for query batches."""
+        return self.lock.read()
+
+    def write(self):
+        """Exclusive-side context manager for arbitrary index mutation."""
+        return self.lock.write()
+
+    async def apply(
+        self, op: str, u: int, v: int, weight: float | None = None
+    ):
+        """Apply one edge mutation exclusively; returns its UpdateReport.
+
+        ``op`` is ``"add"``, ``"remove"``, or ``"set_weight"``; ``add``
+        and ``set_weight`` require ``weight``.  Raises
+        :class:`~repro.errors.QueryError` (→ HTTP 400) on a malformed
+        request; index-level failures (unknown node, missing edge)
+        propagate as their own :class:`~repro.errors.ReproError`.
+        """
+        if op not in _EDGE_OPS:
+            raise QueryError(
+                f"unknown edge operation {op!r}; pick one of {_EDGE_OPS}"
+            )
+        if op in ("add", "set_weight"):
+            if weight is None:
+                raise QueryError(f"edge operation {op!r} requires a weight")
+            weight = float(weight)
+            if weight <= 0:
+                raise QueryError(f"edge weight must be > 0, got {weight}")
+        u, v = int(u), int(v)
+        loop = asyncio.get_running_loop()
+        async with self.lock.write():
+            start = loop.time()
+            try:
+                if op == "add":
+                    report = self.index.add_edge(u, v, weight)
+                elif op == "remove":
+                    report = self.index.remove_edge(u, v)
+                else:
+                    report = self.index.set_edge_weight(u, v, weight)
+            except BaseException:
+                self._metric_update_errors.inc()
+                raise
+            self._metric_updates.inc()
+            self._metric_update_seconds.observe(loop.time() - start)
+            return report
+
+    async def refresh_storage(self) -> None:
+        """Re-pack the paged files exclusively (clears the decoded cache)."""
+        async with self.lock.write():
+            self.index.refresh_storage()

@@ -194,3 +194,90 @@ class TestVerifyAndApi:
         index.refresh_storage()
         after = index.knn(0, 3, knn_type=KnnType.EXACT_DISTANCES)
         assert before == after
+
+
+class TestBatchInputHardening:
+    """Batch entry points accept any integer iterable, reject junk loudly.
+
+    These are the guarantees the serving layer's HTTP-400 mapping leans
+    on: every malformed input raises QueryError (a ValueError).
+    """
+
+    def test_tuple_and_generator_inputs(self, sig_index):
+        expected = [sig_index.range_query(n, 80.0) for n in (3, 7)]
+        assert sig_index.range_query_batch((3, 7), 80.0) == expected
+        assert sig_index.range_query_batch(iter([3, 7]), 80.0) == expected
+        assert sig_index.knn_batch((3, 7), 2) == sig_index.knn_batch([3, 7], 2)
+
+    @pytest.mark.parametrize(
+        "dtype", [np.int8, np.int32, np.int64, np.uint16]
+    )
+    def test_numpy_integer_arrays(self, sig_index, dtype):
+        nodes = np.array([5, 9, 21], dtype=dtype)
+        assert sig_index.range_query_batch(nodes, 70.0) == (
+            sig_index.range_query_batch([5, 9, 21], 70.0)
+        )
+
+    def test_empty_batches(self, sig_index):
+        assert sig_index.range_query_batch([], 10.0) == []
+        assert sig_index.range_query_batch(np.array([], dtype=np.int64), 10.0) == []
+        assert sig_index.knn_batch((), 3) == []
+
+    @pytest.mark.parametrize(
+        "nodes",
+        [
+            [1.5, 2],
+            np.array([1.0, 2.0]),
+            np.array([[1, 2], [3, 4]]),
+            ["3"],
+            [None],
+            object(),
+        ],
+    )
+    def test_bad_node_inputs_raise_query_error(self, sig_index, nodes):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            sig_index.range_query_batch(nodes, 10.0)
+        with pytest.raises(QueryError):
+            sig_index.knn_batch(nodes, 2)
+
+    def test_query_error_is_a_value_error(self, sig_index):
+        from repro.errors import QueryError
+
+        assert issubclass(QueryError, ValueError)
+        with pytest.raises(ValueError):
+            sig_index.range_query_batch([0], -1.0)
+
+    @pytest.mark.parametrize("radius", [-0.5, float("nan"), float("inf")])
+    def test_bad_radius_rejected(self, sig_index, radius):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            sig_index.range_query_batch([0, 1], radius)
+
+    @pytest.mark.parametrize("k", [0, -3, 1.5, "two", None])
+    def test_bad_k_rejected(self, sig_index, k):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            sig_index.knn_batch([0, 1], k)
+
+    def test_bool_k_is_a_valid_index_but_still_validated(self, sig_index):
+        """operator.index accepts bool; k=True means k=1 — harmless but
+        k=False (0) must still fail the >= 1 check."""
+        from repro.errors import QueryError
+
+        assert sig_index.knn_batch([4], True) == sig_index.knn_batch([4], 1)
+        with pytest.raises(QueryError):
+            sig_index.knn_batch([4], False)
+
+    def test_scalar_engine_applies_same_validation(self, small_net, small_objs):
+        from repro.errors import QueryError
+
+        index = SignatureIndex.build(
+            small_net, small_objs, backend="scipy", query_engine="scalar"
+        )
+        with pytest.raises(QueryError):
+            index.range_query_batch([0.5], 10.0)
+        assert index.knn_batch((2, 4), 2) == index.knn_batch([2, 4], 2)

@@ -121,3 +121,56 @@ class TestIndexRoundTrip:
         (tmp_path / "network.txt").write_text("x\n")
         with pytest.raises(IndexError_):
             load_index(tmp_path)
+
+
+class TestEngineFidelity:
+    """Save/load restores query-engine choice and cache enablement."""
+
+    def test_scalar_engine_round_trips(self, small_net, small_objs, tmp_path):
+        index = SignatureIndex.build(
+            small_net, small_objs, backend="scipy", query_engine="scalar"
+        )
+        save_index(index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.query_engine == "scalar"
+
+    def test_bounded_decoded_cache_round_trips(self, sig_index, tmp_path):
+        assert sig_index.decoded.row_caching is False
+        save_index(sig_index, tmp_path / "plain")
+        assert load_index(tmp_path / "plain").decoded.row_caching is False
+
+        index = load_index(tmp_path / "plain")
+        index.enable_decoded_cache(48)
+        save_index(index, tmp_path / "cached")
+        loaded = load_index(tmp_path / "cached")
+        assert loaded.query_engine == "vectorized"
+        assert loaded.decoded.row_caching is True
+        assert loaded.decoded.capacity == 48
+        # And the restored cache actually caches.
+        loaded.range_query_batch([0, 1, 2], 100.0)
+        loaded.range_query_batch([0, 1, 2], 100.0)
+        assert loaded.decoded.hits > 0
+
+    def test_unbounded_decoded_cache_round_trips(self, sig_index, tmp_path):
+        index = SignatureIndex.build(
+            sig_index.network, sig_index.dataset, backend="scipy"
+        )
+        index.enable_decoded_cache(None)
+        save_index(index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.decoded.row_caching is True
+        assert loaded.decoded.capacity is None
+
+    def test_legacy_meta_without_engine_lines_loads(self, sig_index, tmp_path):
+        """Indexes saved before these meta lines existed still load."""
+        save_index(sig_index, tmp_path / "idx")
+        meta_path = tmp_path / "idx" / "meta.txt"
+        kept = [
+            line
+            for line in meta_path.read_text().splitlines()
+            if not line.startswith(("query_engine", "decoded_cache"))
+        ]
+        meta_path.write_text("\n".join(kept) + "\n")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.query_engine == "vectorized"
+        assert loaded.decoded.row_caching is False

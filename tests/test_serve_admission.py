@@ -1,0 +1,152 @@
+"""Admission control: shedding decisions, EWMA, deadlines, config."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueryError
+from repro.obs import MetricsRegistry
+from repro.serve import AdmissionController, Rejected, ServeConfig
+from repro.serve.admission import deadline_scope
+
+
+def make_controller(registry=None, **overrides) -> AdmissionController:
+    config = ServeConfig(port=0).replace(**overrides)
+    return AdmissionController(config, registry=registry)
+
+
+class TestServeConfig:
+    def test_defaults_validate(self):
+        ServeConfig()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"max_batch": 0},
+            {"max_wait_ms": -1.0},
+            {"max_pending": 0},
+            {"deadline_ms": 0.0},
+            {"shed_latency_ms": -5.0},
+            {"degrade_latency_ms": 0.0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+        ],
+    )
+    def test_bad_knobs_rejected(self, changes):
+        with pytest.raises(QueryError):
+            ServeConfig(**changes)
+
+    def test_replace_revalidates(self):
+        config = ServeConfig()
+        assert config.replace(max_batch=7).max_batch == 7
+        assert config.max_batch == 64  # original untouched
+        with pytest.raises(QueryError):
+            config.replace(max_pending=-1)
+
+
+class TestAdmit:
+    def test_idle_controller_admits_exactly(self):
+        controller = make_controller()
+        assert controller.admit(degradable=True) is False
+
+    def test_queue_full_sheds_429(self):
+        controller = make_controller(max_pending=2)
+        controller.pending = 2
+        with pytest.raises(Rejected) as info:
+            controller.admit()
+        assert info.value.status == 429
+        assert info.value.reason == "queue_full"
+
+    def test_high_ewma_sheds_503(self):
+        controller = make_controller(shed_latency_ms=100.0)
+        controller.ewma_ms = 150.0
+        with pytest.raises(Rejected) as info:
+            controller.admit(degradable=True)
+        assert info.value.status == 503
+        assert info.value.reason == "overload"
+
+    def test_queue_full_wins_over_overload(self):
+        controller = make_controller(max_pending=1, shed_latency_ms=100.0)
+        controller.pending = 1
+        controller.ewma_ms = 150.0
+        with pytest.raises(Rejected) as info:
+            controller.admit()
+        assert info.value.status == 429
+
+    def test_degrade_band_degrades_only_degradable(self):
+        controller = make_controller(
+            degrade_latency_ms=50.0, shed_latency_ms=500.0
+        )
+        controller.ewma_ms = 100.0  # between degrade and shed thresholds
+        assert controller.admit(degradable=True) is True
+        assert controller.admit(degradable=False) is False
+
+
+class TestEwma:
+    def test_observe_folds_exponentially(self):
+        controller = make_controller(ewma_alpha=0.5)
+        controller.observe(0.100)  # 100 ms
+        assert controller.ewma_ms == pytest.approx(50.0)
+        controller.observe(0.100)
+        assert controller.ewma_ms == pytest.approx(75.0)
+
+    def test_slot_tracks_pending_and_records_latency(self):
+        registry = MetricsRegistry()
+        controller = make_controller(registry=registry)
+        with controller.slot():
+            assert controller.pending == 1
+        assert controller.pending == 0
+        assert controller.ewma_ms > 0.0
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve.admitted"] == 1
+        assert snapshot["histograms"]["serve.latency_seconds"]["count"] == 1
+
+    def test_slot_releases_pending_on_error(self):
+        controller = make_controller()
+        with pytest.raises(RuntimeError):
+            with controller.slot():
+                raise RuntimeError("boom")
+        assert controller.pending == 0
+
+    def test_timed_out_feeds_deadline_into_ewma(self):
+        registry = MetricsRegistry()
+        controller = make_controller(
+            registry=registry, deadline_ms=200.0, ewma_alpha=1.0
+        )
+        rejection = controller.timed_out()
+        assert rejection.status == 503 and rejection.reason == "deadline"
+        assert controller.ewma_ms == pytest.approx(200.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve.deadline_timeouts"] == 1
+        assert snapshot["counters"]["serve.shed.503"] == 1
+
+    def test_brownout_recovers(self):
+        """Fast (degraded) answers pull the EWMA back below threshold."""
+        controller = make_controller(
+            degrade_latency_ms=50.0, ewma_alpha=0.5
+        )
+        controller.ewma_ms = 100.0
+        assert controller.admit(degradable=True) is True
+        for _ in range(8):
+            controller.observe(0.001)
+        assert controller.admit(degradable=True) is False
+
+
+class TestDeadlineScope:
+    def test_expires_as_timeout_error(self):
+        async def main():
+            with pytest.raises(TimeoutError):
+                async with deadline_scope(0.01):
+                    await asyncio.sleep(5)
+
+        asyncio.run(main())
+
+    def test_fast_body_passes_through(self):
+        async def main():
+            async with deadline_scope(1.0):
+                await asyncio.sleep(0)
+            return "done"
+
+        assert asyncio.run(main()) == "done"
