@@ -25,6 +25,7 @@ paper-versus-measured record.
 
 from repro.core import (
     CategoryPartition,
+    ColumnarSignatureStore,
     DistanceRange,
     ExponentialPartition,
     IndexStorageReport,
@@ -68,6 +69,7 @@ __all__ = [
     "save_index",
     "load_index",
     "SignatureIndex",
+    "ColumnarSignatureStore",
     "IndexStorageReport",
     "KnnType",
     "CategoryPartition",

@@ -13,7 +13,9 @@ repro query index_dir distance --node 42 --object 137
 repro stats index_dir --queries 50 --format table
 repro trace index_dir range --node 42 --radius 50
 repro serve index_dir --port 8080
+repro serve index_dir --port 8080 --workers 4
 repro loadgen --port 8080 --clients 64 --duration 5
+repro compact index_dir
 ```
 
 ``-v`` / ``-vv`` (before the subcommand) raises the log level of the
@@ -205,6 +207,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CAPACITY",
         help="enable the decoded-row cache (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "processes executing coalesced batches; above 1 the index is "
+            "snapshotted once (format v2) and mmapped by every worker"
+        ),
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help=(
+            "rewrite a persisted index in the zero-copy columnar format "
+            "(v2) in place"
+        ),
+    )
+    compact.add_argument("index_dir")
+    compact.add_argument(
+        "--engine",
+        choices=("scalar", "vectorized", "columnar"),
+        default=None,
+        help="also switch the saved query engine (default: keep)",
     )
 
     loadgen = sub.add_parser(
@@ -433,6 +459,7 @@ def _cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms,
         shed_latency_ms=args.shed_latency_ms,
         degrade_latency_ms=args.degrade_latency_ms,
+        workers=args.workers,
     )
     server = QueryServer(index, config)
 
@@ -490,6 +517,31 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    from pathlib import Path
+
+    from repro.core.columnar import ColumnarSignatureStore
+
+    index_dir = Path(args.index_dir)
+    before = (index_dir / "meta.txt").read_text().splitlines()[0]
+    index = load_index(index_dir)
+    if args.engine == "columnar":
+        index.enable_columnar()
+    elif args.engine is not None:
+        index.disable_columnar()
+        index.query_engine = args.engine
+    save_index(index, index_dir, format=2)
+    store = index.columnar or ColumnarSignatureStore.from_index(
+        index, bind=False
+    )
+    print(
+        f"compacted {index_dir}: {before.split()[-1] if before else '?'} -> 2, "
+        f"{store.num_nodes} nodes x {store.num_objects} objects, "
+        f"{store.nbytes} array bytes, engine {index.query_engine}"
+    )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import render_trace, trace_to_json_lines
 
@@ -516,6 +568,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "compact": _cmd_compact,
     "trace": _cmd_trace,
 }
 

@@ -15,6 +15,7 @@ Module map (paper section → module):
 * facade → :mod:`repro.core.index`
 """
 
+from repro.core.columnar import ColumnarSignatureStore
 from repro.core.categories import (
     CategoryPartition,
     ExponentialPartition,
@@ -66,6 +67,7 @@ from repro.core.vectorized import (
 
 __all__ = [
     "SignatureIndex",
+    "ColumnarSignatureStore",
     "PathSegment",
     "continuous_knn",
     "naive_continuous_knn",

@@ -79,7 +79,7 @@ class _NullScope:
 _NULL_SCOPE = _NullScope()
 
 _SIZE_KINDS = ("raw", "encoded", "compressed")
-_QUERY_ENGINES = ("vectorized", "scalar")
+_QUERY_ENGINES = ("vectorized", "scalar", "columnar")
 
 
 def _coerce_batch_nodes(nodes) -> list[int]:
@@ -257,9 +257,14 @@ class SignatureIndex:
         # repro.obs.NULL_REGISTRY to disable), no tracer until trace().
         self.tracer: Tracer | None = None
         self.decoded = vectorized.DecodedSignatureCache()
+        #: Attached zero-copy store (query_engine="columnar" only); when
+        #: set, both query engines' block reads bypass row decoding.
+        self.columnar = None
         self.use_metrics(metrics if metrics is not None else MetricsRegistry())
         self._signature_dirty_nodes: set[int] = set()
         self._build_storage()
+        if query_engine == "columnar":
+            self.enable_columnar()
 
     # ------------------------------------------------------------------
     # construction
@@ -424,6 +429,10 @@ class SignatureIndex:
         # Re-packing follows structural change (updates, growth): decoded
         # rows and the object category matrix may both be stale.
         self.decoded.clear()
+        # Structural changes replace table/dataset arrays wholesale; the
+        # columnar store must re-derive its views to stay memory-shared.
+        if self.columnar is not None:
+            self.columnar.rebind(self)
 
     def refresh_storage(self) -> None:
         """Re-pack the paged files after incremental updates changed sizes."""
@@ -535,6 +544,31 @@ class SignatureIndex:
         self.decoded = vectorized.DecodedSignatureCache()
         self.decoded.bind_metrics(self.metrics)
 
+    # ------------------------------------------------------------------
+    # columnar store (zero-copy engine)
+    # ------------------------------------------------------------------
+    def enable_columnar(self) -> None:
+        """Switch to the columnar engine: decode-free block reads.
+
+        Attaches a :class:`~repro.core.columnar.ColumnarSignatureStore`
+        built from (and memory-shared with) the signature table — the
+        table's ``categories`` / ``links`` are rebound to the store's
+        width-minimal arrays, so §5.4 updates keep a single copy current
+        and no separate invalidation protocol is needed.  The decoded-row
+        cache becomes irrelevant while the store is attached (block reads
+        skip it entirely).
+        """
+        from repro.core.columnar import ColumnarSignatureStore
+
+        self.query_engine = "columnar"
+        self.columnar = ColumnarSignatureStore.from_index(self)
+
+    def disable_columnar(self) -> None:
+        """Detach the columnar store and fall back to row decoding."""
+        self.columnar = None
+        if self.query_engine == "columnar":
+            self.query_engine = "vectorized"
+
     def invalidate_decoded(
         self, nodes=None, *, objects: bool = False
     ) -> None:
@@ -612,8 +646,13 @@ class SignatureIndex:
     # ------------------------------------------------------------------
     @property
     def _queries(self):
-        """The active query implementation module (engine dispatch)."""
-        return vectorized if self.query_engine == "vectorized" else queries
+        """The active query implementation module (engine dispatch).
+
+        ``"columnar"`` reuses the vectorized algorithms — only the block
+        read differs (store-backed, decode-free; see
+        :func:`repro.core.vectorized._decode_block`).
+        """
+        return queries if self.query_engine == "scalar" else vectorized
 
     def range_query(
         self, node: int, radius: float, *, with_distances: bool = False
@@ -651,7 +690,7 @@ class SignatureIndex:
         with self._scope(
             "query.range_batch", count=len(nodes), radius=radius
         ) as span:
-            if self.query_engine == "vectorized":
+            if self.query_engine != "scalar":
                 batched = vectorized.range_query_batch(
                     self, nodes, radius, with_distances=with_distances
                 )
@@ -698,7 +737,7 @@ class SignatureIndex:
         nodes = _coerce_batch_nodes(nodes)
         k = _coerce_k(k)
         with self._scope("query.knn_batch", count=len(nodes), k=k) as span:
-            if self.query_engine == "vectorized":
+            if self.query_engine != "scalar":
                 batched = vectorized.knn_query_batch(
                     self, nodes, k, knn_type=knn_type
                 )

@@ -21,6 +21,19 @@ bits <total payload bits>
 ```
 
 The network itself is stored alongside via :mod:`repro.network.io`.
+
+Version 2 (the default since the columnar store landed) replaces the bit
+stream with :class:`repro.core.columnar.ColumnarSignatureStore`'s raw
+array files under ``columnar/`` — categories, links, compression flags
+and bases, the partition-boundary and object-rank vectors, the object
+distance table, and (when present) the §5.4 spanning trees — described
+by a ``manifest.json``.  ``meta.txt`` keeps the same key-value layout
+with magic line ``repro-signature-index 2``.  Loading v2 is ``np.memmap``
+in copy-on-write mode: O(1) and zero-copy where v1 pays a Python loop
+per component plus one Dijkstra per object, while updates still work on
+the loaded index (private pages, the snapshot is never mutated).  Both
+versions load transparently through :func:`load_index`; ``repro
+compact`` migrates a v1 directory in place.
 """
 
 from __future__ import annotations
@@ -46,6 +59,7 @@ __all__ = [
 ]
 
 _MAGIC = "repro-signature-index 1"
+_MAGIC_V2 = "repro-signature-index 2"
 
 # Links are stored shifted by 2 so the sentinels (-1 "here", -2 "none")
 # fit an unsigned field alongside adjacency positions 0..R-1.
@@ -150,13 +164,18 @@ def deserialize_table(
     return table
 
 
-def save_index(index, directory: str | Path) -> None:
+def save_index(index, directory: str | Path, *, format: int = 2) -> None:
     """Persist a :class:`~repro.core.index.SignatureIndex` to a directory.
 
-    Writes ``network.txt``, ``dataset.txt``, ``signatures.bin`` (the bit
-    stream) and ``meta.txt``.  Spanning trees are not persisted; reload
-    with ``keep_trees=True`` support by rebuilding if updates are needed.
+    ``format=2`` (default) writes the columnar array files under
+    ``columnar/`` — including the object distance table and, when the
+    index was built with ``keep_trees=True``, the §5.4 spanning trees —
+    for O(1) mmap loading.  ``format=1`` writes the legacy §5.2 bit
+    stream (``signatures.bin``); v1 never persists trees and its load
+    path recomputes the object table from the network.
     """
+    if format not in (1, 2):
+        raise IndexError_(f"unknown index format {format!r}; use 1 or 2")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     save_network(index.network, directory / "network.txt")
@@ -164,24 +183,35 @@ def save_index(index, directory: str | Path) -> None:
 
     save_dataset(index.dataset, directory / "dataset.txt")
     encoding = index.stored_kind
-    payload = serialize_table(index.table, encoding=encoding)
-    writer_bits = _count_bits(index.table, encoding)
-    (directory / "signatures.bin").write_bytes(payload)
     if index.decoded.row_caching:
         capacity = index.decoded.capacity
         cache_spec = "unbounded" if capacity is None else str(capacity)
     else:
         cache_spec = "off"
     meta = [
-        _MAGIC,
+        _MAGIC if format == 1 else _MAGIC_V2,
         "boundaries " + " ".join(repr(b) for b in index.partition.boundaries),
         f"maxdeg {index.table.max_degree}",
         f"encoding {encoding}",
-        f"bits {writer_bits}",
         f"drop_last {int(index.object_table._drop_last_category)}",
         f"query_engine {index.query_engine}",
         f"decoded_cache {cache_spec}",
     ]
+    if format == 1:
+        payload = serialize_table(index.table, encoding=encoding)
+        writer_bits = _count_bits(index.table, encoding)
+        (directory / "signatures.bin").write_bytes(payload)
+        meta.insert(4, f"bits {writer_bits}")
+    else:
+        from repro.core.columnar import ColumnarSignatureStore
+
+        store = index.columnar
+        if store is None:
+            store = ColumnarSignatureStore.from_index(index, bind=False)
+        store.save(directory / "columnar")
+        # A v2 directory has no bit stream; drop a stale one left behind
+        # by a previous v1 save (the `repro compact` migration path).
+        (directory / "signatures.bin").unlink(missing_ok=True)
     (directory / "meta.txt").write_text("\n".join(meta) + "\n")
 
 
@@ -202,24 +232,50 @@ def _count_bits(table: SignatureTable, encoding: str) -> int:
 
 
 def load_index(directory: str | Path):
-    """Load an index persisted by :func:`save_index`.
+    """Load an index persisted by :func:`save_index` (either format).
 
-    The object distance table is recomputed from the network (one
-    Dijkstra per object — the same cost as the original construction's
-    in-memory table), after which compressed components resolve exactly.
+    Version 2 directories memory-map their arrays (copy-on-write): the
+    load is O(1), the object distance table and — when persisted — the
+    §5.4 spanning trees come back verbatim, and several processes
+    loading the same directory share one page-cache copy.  Version 1
+    recomputes the object table from the network (one Dijkstra per
+    object) and resolves compressed components component by component.
     """
-    from repro.core.index import SignatureIndex
-    from repro.core.signature import ObjectDistanceTable
-    from repro.network.io import load_dataset
-
     directory = Path(directory)
     lines = (directory / "meta.txt").read_text().splitlines()
-    if not lines or lines[0] != _MAGIC:
+    magic = lines[0] if lines else ""
+    if magic not in (_MAGIC, _MAGIC_V2):
         raise IndexError_(f"{directory}: not a saved signature index")
     meta: dict[str, str] = {}
     for line in lines[1:]:
         key, _, value = line.partition(" ")
         meta[key] = value
+    if magic == _MAGIC_V2:
+        return _load_index_v2(directory, meta)
+    return _load_index_v1(directory, meta)
+
+
+def _restore_serving_config(index, meta: dict[str, str]):
+    """Re-enable the saved decoded-cache configuration (both formats).
+
+    Engine choice and cache enablement are restored so a served index
+    restarted from disk answers through the same code paths.  Saves
+    predating these keys fall back to the construction-time defaults.
+    """
+    cache_spec = meta.get("decoded_cache", "off")
+    if cache_spec != "off":
+        index.enable_decoded_cache(
+            None if cache_spec == "unbounded" else int(cache_spec)
+        )
+    index.compression_stats = None
+    return index
+
+
+def _load_index_v1(directory: Path, meta: dict[str, str]):
+    from repro.core.index import SignatureIndex
+    from repro.core.signature import ObjectDistanceTable
+    from repro.network.io import load_dataset
+
     network = load_network(directory / "network.txt")
     dataset = load_dataset(directory / "dataset.txt")
     boundaries = [float(tok) for tok in meta["boundaries"].split()]
@@ -250,11 +306,6 @@ def load_index(directory: str | Path):
         distances, partition, drop_last_category=meta.get("drop_last") == "1"
     )
 
-    # Restore the serving-relevant configuration (engine choice and
-    # decoded-cache enablement) so a reloaded index answers queries
-    # through the same code paths — a served index restarted from disk
-    # must behave identically.  Pre-existing saves lack these keys and
-    # fall back to the construction-time defaults.
     index = SignatureIndex(
         network,
         dataset,
@@ -264,11 +315,6 @@ def load_index(directory: str | Path):
         stored_kind=encoding,
         query_engine=meta.get("query_engine", "vectorized"),
     )
-    cache_spec = meta.get("decoded_cache", "off")
-    if cache_spec != "off":
-        index.enable_decoded_cache(
-            None if cache_spec == "unbounded" else int(cache_spec)
-        )
     if table.compressed.any():
         # Restore the logical categories of flagged components and the
         # base bookkeeping, so resolution works without a scan per read.
@@ -287,5 +333,63 @@ def load_index(directory: str | Path):
                 int(table.categories[node, base]),
                 object_table.category(base, int(rank)),
             )
-    index.compression_stats = None
-    return index
+    return _restore_serving_config(index, meta)
+
+
+def _load_index_v2(directory: Path, meta: dict[str, str]):
+    from repro.core.columnar import ColumnarSignatureStore
+    from repro.core.index import SignatureIndex
+    from repro.core.signature import ObjectDistanceTable
+    from repro.core.spanning_tree import ObjectSpanningTrees
+    from repro.network.io import load_dataset
+
+    network = load_network(directory / "network.txt")
+    dataset = load_dataset(directory / "dataset.txt")
+    boundaries = [float(tok) for tok in meta["boundaries"].split()]
+    partition = CategoryPartition(boundaries)
+    encoding = meta.get("encoding", "compressed")
+    store = ColumnarSignatureStore.load(directory / "columnar")
+
+    # Cross-validate the store against the sidecar text files: a mixed-up
+    # or partially overwritten directory must fail here, not at query time.
+    if store.num_nodes != network.num_nodes:
+        raise IndexError_(
+            f"{directory}: columnar store holds {store.num_nodes} node "
+            f"signatures but the network has {network.num_nodes} nodes"
+        )
+    if not np.array_equal(store.object_nodes, np.asarray(list(dataset))):
+        raise IndexError_(
+            f"{directory}: columnar object-rank vector disagrees with "
+            f"dataset.txt"
+        )
+    if not np.array_equal(
+        store.boundaries, np.asarray(boundaries, dtype=np.float64)
+    ):
+        raise IndexError_(
+            f"{directory}: columnar boundary vector disagrees with meta.txt"
+        )
+
+    table = SignatureTable(
+        partition, store.categories, store.links, max_degree=store.max_degree
+    )
+    table.compressed = store.compressed
+    table.bases = store.bases
+    object_table = ObjectDistanceTable.from_stored(
+        store.object_distances, partition, drop_last_category=store.drop_last
+    )
+    trees = None
+    if store.has_trees:
+        trees = ObjectSpanningTrees(
+            dataset, store.tree_distances, store.tree_parents
+        )
+    index = SignatureIndex(
+        network,
+        dataset,
+        partition,
+        table,
+        object_table,
+        trees=trees,
+        stored_kind=encoding,
+        query_engine=meta.get("query_engine", "vectorized"),
+    )
+    return _restore_serving_config(index, meta)

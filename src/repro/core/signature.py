@@ -314,6 +314,34 @@ class ObjectDistanceTable:
             matrix[mask] = math.nan
         self._matrix = matrix
 
+    @classmethod
+    def from_stored(
+        cls,
+        matrix: np.ndarray,
+        partition: CategoryPartition,
+        *,
+        drop_last_category: bool = True,
+    ) -> "ObjectDistanceTable":
+        """Rewrap an already-materialized matrix without re-applying drops.
+
+        The columnar persistence path (format v2) stores ``_matrix``
+        verbatim — ``NaN`` already marks the dropped pairs — so loading
+        must not run the constructor's drop rule again.  ``matrix`` is
+        adopted as-is (it may be an ``np.memmap``; copy-on-write mode
+        keeps :meth:`set_distance` working on a loaded table).
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise IndexError_(
+                f"object distance table must be square, got {matrix.shape}"
+            )
+        table = cls.__new__(cls)
+        table.partition = partition
+        table._drop_last_category = drop_last_category
+        table._matrix = matrix
+        table.dropped_pairs = int(np.isnan(matrix).sum())
+        return table
+
     @property
     def num_objects(self) -> int:
         """D: the dataset cardinality."""

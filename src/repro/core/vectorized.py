@@ -239,7 +239,16 @@ def _decode_block(index: SignatureIndexProtocol, nodes: np.ndarray) -> np.ndarra
     Pure CPU (mirrors §5.3: decompression costs no I/O); the index's
     ``decompressions`` tally is advanced by the number of flagged
     components decoded, matching what the scalar path would charge.
+
+    When a :class:`~repro.core.columnar.ColumnarSignatureStore` is
+    attached (``query_engine="columnar"``) the rows come straight off
+    its contiguous category matrix — no decode, no cache — and this
+    function (plus :class:`DecodedSignatureCache`) is the legacy
+    fallback path.
     """
+    store = getattr(index, "columnar", None)
+    if store is not None:
+        return store.category_block(index, nodes)
     table = index.table
     num_nodes = table.categories.shape[0]
     if nodes.size and (nodes.min() < 0 or nodes.max() >= num_nodes):
@@ -290,7 +299,14 @@ def _decode_block(index: SignatureIndexProtocol, nodes: np.ndarray) -> np.ndarra
 def decode_signature_row(
     index: SignatureIndexProtocol, node: int
 ) -> np.ndarray:
-    """The logical ``(D,)`` category row of ``node`` (cache-aware)."""
+    """The logical ``(D,)`` category row of ``node`` (cache-aware).
+
+    An attached columnar store supersedes the cache: block reads are
+    already decode-free, so memoizing rows would only add staleness
+    risk for no gain.
+    """
+    if getattr(index, "columnar", None) is not None:
+        return _decode_block(index, np.array([node], dtype=np.int64))[0]
     cache = getattr(index, "decoded", None)
     if cache is not None:
         row = cache.get_row(node)
@@ -307,6 +323,8 @@ def decode_signature_rows(
 ) -> np.ndarray:
     """The logical ``(B, D)`` category rows of ``nodes`` (cache-aware)."""
     cache = getattr(index, "decoded", None)
+    if getattr(index, "columnar", None) is not None:
+        cache = None  # the store is authoritative; see decode_signature_row
     with span_of(index, "decode", rows=len(nodes)):
         if cache is not None and cache.row_caching:
             return np.stack(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import inspect
 from collections.abc import Callable, Hashable, Sequence
 from typing import Any
 
@@ -77,10 +78,13 @@ class Coalescer:
 
     ``dispatch(key, nodes)`` must return a list aligned with ``nodes``
     (exactly the contract of
-    :meth:`~repro.core.index.SignatureIndex.range_query_batch`).  It is
-    invoked synchronously on the event loop, under ``gate()`` when one
-    is provided; if it raises, every waiter of that batch receives the
-    exception.
+    :meth:`~repro.core.index.SignatureIndex.range_query_batch`), or an
+    awaitable resolving to one — the multi-process server returns an
+    executor future for the worker pool.  It is invoked synchronously on
+    the event loop, under ``gate()`` when one is provided (an awaitable
+    result is awaited while the gate is still held, so §5.4 updates
+    cannot land between dispatch and completion); if it raises, every
+    waiter of that batch receives the exception.
 
     With ``max_batch=1`` every request dispatches immediately — the
     uncoalesced baseline the serving benchmark compares against.
@@ -149,6 +153,8 @@ class Coalescer:
         try:
             async with gate:
                 results = self._dispatch(bucket.key, bucket.nodes)
+                if inspect.isawaitable(results):
+                    results = await results
             if len(results) != len(bucket.nodes):
                 raise RuntimeError(
                     f"batch dispatch returned {len(results)} results for "

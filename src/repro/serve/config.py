@@ -46,7 +46,16 @@ class ServeConfig:
     * ``host`` / ``port`` — listen address (port 0 picks an ephemeral
       port, reported by :meth:`QueryServer.start`);
     * ``drain_timeout_s`` — how long graceful shutdown waits for
-      in-flight requests before closing connections anyway.
+      in-flight requests before closing connections anyway;
+    * ``workers`` — processes executing coalesced batches.  1 (the
+      default) runs batches on the event-loop process.  Above 1, the
+      server snapshots the index in the version-2 columnar format and
+      starts a :class:`~concurrent.futures.ProcessPoolExecutor` whose
+      workers each ``mmap`` that one snapshot — shared page cache, no
+      per-worker pickling — and replay the coordinator's update log
+      before answering (see :mod:`repro.serve.workers`);
+    * ``snapshot_dir`` — where the worker snapshot is written; ``None``
+      uses a temporary directory removed at shutdown.
     """
 
     host: str = "127.0.0.1"
@@ -59,6 +68,8 @@ class ServeConfig:
     degrade_latency_ms: float = 250.0
     ewma_alpha: float = 0.2
     drain_timeout_s: float = 5.0
+    workers: int = 1
+    snapshot_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -79,6 +90,8 @@ class ServeConfig:
             raise QueryError(
                 f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
             )
+        if self.workers < 1:
+            raise QueryError(f"workers must be >= 1, got {self.workers}")
 
     def replace(self, **changes) -> "ServeConfig":
         """A copy with ``changes`` applied (validation re-runs)."""

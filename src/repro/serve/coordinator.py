@@ -111,6 +111,15 @@ class UpdateCoordinator:
     ) -> None:
         self.index = index
         self.lock = ReadWriteLock()
+        #: Monotonic update counter.  Each successful :meth:`apply` bumps
+        #: it and appends ``(epoch, op, u, v, weight)`` to
+        #: :attr:`update_log`, which worker processes replay to bring
+        #: their mmapped snapshot up to the dispatching epoch (see
+        #: :mod:`repro.serve.workers`).  Failed updates never enter the
+        #: log, so workers only ever replay operations the primary
+        #: actually applied.
+        self.epoch = 0
+        self.update_log: list[tuple[int, str, int, int, float | None]] = []
         registry = registry if registry is not None else NULL_REGISTRY
         self._metric_updates = registry.counter("serve.updates")
         self._metric_update_errors = registry.counter("serve.update_errors")
@@ -163,6 +172,8 @@ class UpdateCoordinator:
                 raise
             self._metric_updates.inc()
             self._metric_update_seconds.observe(loop.time() - start)
+            self.epoch += 1
+            self.update_log.append((self.epoch, op, u, v, weight))
             return report
 
     async def refresh_storage(self) -> None:

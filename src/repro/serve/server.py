@@ -32,7 +32,11 @@ import asyncio
 import json
 import logging
 import math
+import multiprocessing
 import signal
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from urllib.parse import parse_qsl, urlsplit
 
 import numpy as np
@@ -41,6 +45,7 @@ from repro.core.queries import KnnType
 from repro.core.vectorized import category_bound_arrays, decode_signature_row
 from repro.errors import ReproError
 from repro.obs.export import metrics_to_prometheus
+from repro.serve import workers as worker_mod
 from repro.serve.admission import AdmissionController, Rejected, deadline_scope
 from repro.serve.batching import BatchKey, Coalescer
 from repro.serve.config import ServeConfig
@@ -160,6 +165,8 @@ class QueryServer:
         self._metric_errors = registry.counter("serve.errors")
         self._registry = registry
         self._server: asyncio.AbstractServer | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._snapshot_tmp: tempfile.TemporaryDirectory | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._active_requests = 0
         self._draining = False
@@ -168,8 +175,27 @@ class QueryServer:
         self.port = self.config.port
 
     # -- batched dispatch ----------------------------------------------
-    def _dispatch_batch(self, key: BatchKey, nodes) -> list:
-        """Synchronous fan-out to the vectorized batch entry points."""
+    def _dispatch_batch(self, key: BatchKey, nodes):
+        """Fan one coalesced batch out to the engine.
+
+        Single-process (the default): calls the vectorized batch entry
+        points inline and returns the list.  With a worker pool: submits
+        the batch to a worker process and returns the executor future —
+        the coalescer awaits it while still holding the coordinator's
+        read gate, so the ``(epoch, log)`` pair captured here stays
+        consistent until the answer lands.
+        """
+        if self._pool is not None:
+            loop = asyncio.get_running_loop()
+            return loop.run_in_executor(
+                self._pool,
+                worker_mod.run_batch,
+                self.coordinator.epoch,
+                tuple(self.coordinator.update_log),
+                key.kind,
+                list(nodes),
+                key.params,
+            )
         if key.kind == "range":
             radius, with_distances = key.params
             return self.index.range_query_batch(
@@ -332,6 +358,7 @@ class QueryServer:
             > self.config.degrade_latency_ms,
             "nodes": self.index.network.num_nodes,
             "objects": len(self.index.dataset),
+            "workers": self.config.workers,
             # Distance scale of the served index: remote clients (the
             # load generator in particular) need it to form radii that
             # land in a chosen category band.
@@ -536,8 +563,53 @@ class QueryServer:
         await writer.drain()
 
     # -- lifecycle -----------------------------------------------------
+    def _start_pool(self) -> None:
+        """Snapshot the index (format v2) and fork the worker pool.
+
+        Every worker memory-maps the one snapshot (copy-on-write), so
+        N workers cost one page-cache copy of the index and zero pickle
+        traffic.  The primary keeps its in-memory index for the
+        non-batched endpoints (``/v1/distance``, ``/v1/aggregate``,
+        degraded answers) and for applying §5.4 updates.
+        """
+        if self.config.snapshot_dir is not None:
+            snapshot = Path(self.config.snapshot_dir)
+            snapshot.mkdir(parents=True, exist_ok=True)
+        else:
+            self._snapshot_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-serve-"
+            )
+            snapshot = Path(self._snapshot_tmp.name)
+        from repro.core.persistence import save_index
+
+        save_index(self.index, snapshot, format=2)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            mp_context=ctx,
+            initializer=worker_mod.init_worker,
+            initargs=(str(snapshot),),
+        )
+        # Startup barrier: fail fast (and not on the first query) if the
+        # snapshot cannot be mapped.
+        for future in [
+            self._pool.submit(worker_mod.warm)
+            for _ in range(self.config.workers)
+        ]:
+            future.result()
+        logger.info(
+            "worker pool up: %d processes mapping %s",
+            self.config.workers,
+            snapshot,
+        )
+
     async def start(self) -> None:
         """Bind and start accepting; resolves :attr:`port` when 0."""
+        if self.config.workers > 1 and self._pool is None:
+            self._start_pool()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -573,6 +645,12 @@ class QueryServer:
             await self.coalescer.drain()
         for writer in list(self._connections):
             writer.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._snapshot_tmp is not None:
+            self._snapshot_tmp.cleanup()
+            self._snapshot_tmp = None
         self._stopped.set()
         logger.info(
             "drained (%d requests abandoned)", max(self._active_requests, 0)

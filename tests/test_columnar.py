@@ -1,0 +1,230 @@
+"""The zero-copy columnar store: construction, binding, and equivalence.
+
+The store is correct iff it is invisible: every query through the
+columnar engine must return exactly what the scalar reference and the
+vectorized engine return, charge the same page accesses, and tally the
+same §5.3 decompressions — and §5.4 updates must flow through without
+any explicit invalidation, because the store's arrays *are* the table's
+arrays (one memory, rebound on every structural rebuild).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnarSignatureStore, KnnType, SignatureIndex
+from repro.core.categories import ExponentialPartition
+from repro.errors import IndexError_, StorageError
+
+ENGINES = ("scalar", "vectorized", "columnar")
+
+
+@pytest.fixture(scope="module")
+def engine_indexes(small_net, small_objs):
+    """One index per engine over the same network/dataset."""
+    return {
+        engine: SignatureIndex.build(
+            small_net, small_objs, backend="scipy", query_engine=engine
+        )
+        for engine in ENGINES
+    }
+
+
+# ----------------------------------------------------------------------
+# store construction
+# ----------------------------------------------------------------------
+class TestStoreConstruction:
+    def test_from_index_shapes(self, sig_index):
+        store = ColumnarSignatureStore.from_index(sig_index, bind=False)
+        n = sig_index.network.num_nodes
+        d = len(sig_index.dataset)
+        assert store.categories.shape == (n, d)
+        assert store.links.shape == (n, d)
+        assert store.compressed.shape == (n, d)
+        assert store.object_nodes.shape == (d,)
+        assert store.object_distances.shape == (d, d)
+        assert store.num_nodes == n and store.num_objects == d
+
+    def test_width_minimal_dtypes(self, sig_index):
+        store = ColumnarSignatureStore.from_index(sig_index, bind=False)
+        unreachable = sig_index.partition.unreachable
+        assert store.categories.dtype == np.min_scalar_type(unreachable)
+        assert store.links.dtype in (np.int16, np.int32)
+        assert store.categories.flags.c_contiguous
+        assert store.links.flags.c_contiguous
+
+    def test_paper_partition_needs_wider_categories(self, small_net, small_objs):
+        """~1000 categories (§6.1 partition) cannot fit uint8."""
+        partition = ExponentialPartition(1.01, 1.0, 10_000.0)
+        index = SignatureIndex.build(
+            small_net, small_objs, partition, backend="scipy"
+        )
+        store = ColumnarSignatureStore.from_index(index, bind=False)
+        assert partition.unreachable > 255
+        assert store.categories.dtype.itemsize >= 2
+
+    def test_bind_rebinds_table_arrays(self, small_net, small_objs):
+        index = SignatureIndex.build(small_net, small_objs, backend="scipy")
+        index.enable_columnar()
+        assert index.columnar is not None
+        assert index.table.categories is index.columnar.categories
+        assert index.table.links is index.columnar.links
+        assert index.table.compressed is index.columnar.compressed
+
+    def test_disable_restores_vectorized(self, small_net, small_objs):
+        index = SignatureIndex.build(small_net, small_objs, backend="scipy")
+        index.enable_columnar()
+        index.disable_columnar()
+        assert index.columnar is None
+        assert index.query_engine == "vectorized"
+
+    def test_mismatched_shapes_rejected(self, sig_index):
+        store = ColumnarSignatureStore.from_index(sig_index, bind=False)
+        with pytest.raises(IndexError_):
+            ColumnarSignatureStore(
+                categories=store.categories,
+                links=store.links[:-1],
+                compressed=store.compressed,
+                bases=None,
+                boundaries=store.boundaries,
+                object_nodes=store.object_nodes,
+                object_distances=store.object_distances,
+                tree_distances=None,
+                tree_parents=None,
+                max_degree=store.max_degree,
+                drop_last=store.drop_last,
+            )
+
+    def test_out_of_range_block_read_raises(self, small_net, small_objs):
+        index = SignatureIndex.build(
+            small_net, small_objs, backend="scipy", query_engine="columnar"
+        )
+        bad = np.array([small_net.num_nodes], dtype=np.int64)
+        with pytest.raises(StorageError):
+            index.columnar.category_block(index, bad)
+
+
+# ----------------------------------------------------------------------
+# engine equivalence
+# ----------------------------------------------------------------------
+def _reset(index):
+    index.counter.reset()
+    index.decompressions = 0
+
+
+class TestEngineEquivalence:
+    """All three engines answer identically and cost identically."""
+
+    RADII = (5.0, 15.0, 40.0)
+
+    def test_range_queries(self, engine_indexes, small_net):
+        nodes = list(range(0, small_net.num_nodes, 7))
+        for radius in self.RADII:
+            answers, pages, decomp = {}, {}, {}
+            for engine, index in engine_indexes.items():
+                _reset(index)
+                answers[engine] = index.range_query_batch(
+                    nodes, radius, with_distances=True
+                )
+                pages[engine] = index.counter.logical_reads
+                decomp[engine] = index.decompressions
+            assert answers["columnar"] == answers["scalar"]
+            assert answers["columnar"] == answers["vectorized"]
+            assert pages["columnar"] == pages["scalar"]
+            assert decomp["columnar"] == decomp["scalar"]
+
+    @pytest.mark.parametrize(
+        "knn_type",
+        [KnnType.SET, KnnType.ORDERED, KnnType.EXACT_DISTANCES],
+    )
+    def test_knn_all_types(self, engine_indexes, small_net, knn_type):
+        nodes = list(range(0, small_net.num_nodes, 11))
+        answers = {
+            engine: index.knn_batch(nodes, 3, knn_type=knn_type)
+            for engine, index in engine_indexes.items()
+        }
+        assert answers["columnar"] == answers["scalar"]
+        assert answers["columnar"] == answers["vectorized"]
+
+    def test_aggregate_and_join(self, engine_indexes):
+        for aggregate in ("count", "min", "max"):
+            values = {
+                engine: index.aggregate_range(3, 25.0, aggregate)
+                for engine, index in engine_indexes.items()
+            }
+            assert values["columnar"] == values["scalar"]
+            assert values["columnar"] == values["vectorized"]
+        joins = {
+            engine: sorted(index.epsilon_join(index, 20.0))
+            for engine, index in engine_indexes.items()
+        }
+        assert joins["columnar"] == joins["scalar"]
+        assert joins["columnar"] == joins["vectorized"]
+
+    def test_single_node_queries(self, engine_indexes, small_net):
+        for node in (0, small_net.num_nodes - 1, 17):
+            results = {
+                engine: index.range_query(node, 30.0, with_distances=True)
+                for engine, index in engine_indexes.items()
+            }
+            assert results["columnar"] == results["scalar"]
+            assert results["columnar"] == results["vectorized"]
+
+
+# ----------------------------------------------------------------------
+# staleness regression: §5.4 updates vs both fast paths
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("setup", ["decoded_cache", "columnar"])
+def test_no_stale_categories_after_weight_update(
+    small_net, small_objs, setup
+):
+    """An edge-weight update must never leave either fast path serving
+    the pre-update categories (the decoded-row cache invalidates per
+    touched node; the columnar store shares the table's memory)."""
+    network = small_net.copy()
+    index = SignatureIndex.build(
+        network, small_objs, backend="scipy", keep_trees=True
+    )
+    if setup == "decoded_cache":
+        index.enable_decoded_cache(None)
+    else:
+        index.enable_columnar()
+    nodes = list(range(0, network.num_nodes, 5))
+    index.range_query_batch(nodes, 30.0)  # warm cache / touch store
+
+    u, (v, w) = 0, network.neighbors(0)[0]
+    index.set_edge_weight(u, v, w * 4.0)
+
+    # Oracle: a freshly built index over the mutated network.
+    oracle = SignatureIndex.build(network, small_objs, backend="scipy")
+    got = index.range_query_batch(nodes, 30.0, with_distances=True)
+    want = oracle.range_query_batch(nodes, 30.0, with_distances=True)
+    assert got == want
+    got_knn = index.knn_batch(nodes, 3, knn_type=KnnType.EXACT_DISTANCES)
+    want_knn = oracle.knn_batch(nodes, 3, knn_type=KnnType.EXACT_DISTANCES)
+    assert got_knn == want_knn
+
+
+def test_structural_update_rebinds_store(small_net, small_objs):
+    """add_object / remove_object rebuild arrays; the store must follow."""
+    network = small_net.copy()
+    index = SignatureIndex.build(
+        network, small_objs, backend="scipy", keep_trees=True
+    )
+    index.enable_columnar()
+    new_object = next(
+        node
+        for node in range(network.num_nodes)
+        if node not in set(small_objs)
+    )
+    index.add_object(new_object)
+    assert index.table.categories is index.columnar.categories
+    assert index.columnar.num_objects == len(small_objs) + 1
+    # And the query path sees the new object immediately.
+    hits = index.range_query(new_object, 0.0)
+    assert new_object in hits
+
+    index.remove_object(new_object)
+    assert index.columnar.num_objects == len(small_objs)
+    assert index.table.categories is index.columnar.categories
