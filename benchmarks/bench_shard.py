@@ -1,0 +1,283 @@
+"""Sharding: per-process memory, build time, and query latency.
+
+Not a paper figure — the memory trajectory of the north star.  A
+K-shard index serves from K processes that each map only their own
+``shard-NNNN/`` slice of a format-v3 snapshot, so the claim under test
+is *resident memory per process ≈ 1/K of the monolith* while answers
+stay exact (the equivalence oracle lives in
+``tests/test_shard_equivalence.py``; this bench spot-checks it on the
+bench network).
+
+Three measurements:
+
+* **build** — wall-clock to build the monolith and the sharded index at
+  shards ∈ {2, 4} (partitioning + K sub-builds + boundary overlay).
+* **memory** — each load is a *fresh interpreter* (``subprocess``, no
+  fork: a forked child inherits the parent's resident pages and
+  ``ru_maxrss`` would measure the parent, not the load): record
+  ``resource.getrusage(...).ru_maxrss`` before and after mapping either
+  the whole v2 monolith or one shard of the v3 snapshot and touching it
+  with queries.  The before/after delta isolates the index payload from
+  the ~40 MB interpreter+numpy baseline.
+* **latency** — mean per-query latency of range/kNN over the same
+  sampled nodes at shards ∈ {1, 2, 4}, in-process.
+
+Writes machine-readable ``BENCH_shard.json`` at the repo root and
+appends a one-line summary to ``benchmarks/results/shard.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+QUICK = "--quick" in sys.argv
+if QUICK:
+    os.environ.setdefault("REPRO_BENCH_SHARD_NODES", "1500")
+    os.environ.setdefault("REPRO_BENCH_SHARD_QUERY_NODES", "40")
+
+_REPO_ROOT_PATH = Path(__file__).resolve().parent.parent
+_REPO_ROOT = str(_REPO_ROOT_PATH)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+import numpy as np  # noqa: E402
+import pytest  # noqa: E402
+
+from benchmarks.conftest import RESULTS_DIR  # noqa: E402
+from repro.core import SignatureIndex, save_index  # noqa: E402
+from repro.network import (  # noqa: E402
+    random_planar_network,
+    uniform_dataset,
+)
+from repro.shard import (  # noqa: E402
+    ShardedSignatureIndex,
+    partition_network,
+)
+
+JSON_PATH = _REPO_ROOT_PATH / "BENCH_shard.json"
+SRC_DIR = _REPO_ROOT_PATH / "src"
+
+NUM_NODES = int(os.environ.get("REPRO_BENCH_SHARD_NODES", "4000"))
+QUERY_NODES = int(os.environ.get("REPRO_BENCH_SHARD_QUERY_NODES", "120"))
+DENSITY = 0.02
+SEED = 1959
+SHARD_COUNTS = (2, 4)
+RADIUS = 60.0
+K = 5
+
+#: The tentpole's partition-quality bar: boundary nodes stay under 10%
+#: of the network on the bench-scale planar network.
+MAX_BOUNDARY_FRACTION = 0.10
+
+#: Interpreter script run per memory probe: map an index (or one shard
+#: of one) in a fresh process, fault every payload page in by summing
+#: the mmap-backed arrays, and report *current* resident memory
+#: (``/proc/self/statm``, Linux) before and after.  Current RSS, not
+#: ``ru_maxrss``: the high-water mark is already set by transient
+#: allocations during interpreter/numpy start-up, which would mask a
+#: few-MiB index payload entirely.
+_PROBE = r"""
+import json, os, sys
+directory, kind, shard_id, nodes_json = sys.argv[1:5]
+nodes = json.loads(nodes_json)
+import numpy as np
+from repro.core import load_index
+
+def rss_kib():
+    resident_pages = int(open("/proc/self/statm").read().split()[1])
+    return resident_pages * os.sysconf("SC_PAGE_SIZE") // 1024
+
+def touch(index):
+    total = float(np.asarray(index.trees.distances).sum())
+    total += float(np.asarray(index.table.categories).sum())
+    total += float(np.asarray(index.table.links).sum())
+    return total
+
+before = rss_kib()
+if kind == "mono":
+    index = load_index(directory)
+    touch(index)
+    for node in nodes:
+        index.range_query(node, 60.0)
+        index.knn(node, 5)
+else:
+    from repro.shard import load_shard_worker
+    worker = load_shard_worker(directory, int(shard_id))
+    touch(worker.index)
+after = rss_kib()
+print(json.dumps({"before_kib": before, "after_kib": after}))
+"""
+
+
+def _probe_rss(directory: Path, kind: str, shard_id: int, nodes) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [
+            sys.executable, "-c", _PROBE,
+            str(directory), kind, str(shard_id), json.dumps(list(nodes)),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    payload = json.loads(out.stdout)
+    payload["delta_kib"] = payload["after_kib"] - payload["before_kib"]
+    return payload
+
+
+def _mean_latency_ms(index, nodes) -> dict:
+    samples = {"range": [], "knn": []}
+    for node in nodes:
+        start = time.perf_counter()
+        index.range_query(node, RADIUS)
+        samples["range"].append((time.perf_counter() - start) * 1000)
+        start = time.perf_counter()
+        index.knn(node, K)
+        samples["knn"].append((time.perf_counter() - start) * 1000)
+    return {
+        kind: round(statistics.mean(values), 4)
+        for kind, values in samples.items()
+    }
+
+
+def _run_bench() -> dict:
+    network = random_planar_network(NUM_NODES, seed=SEED)
+    dataset = uniform_dataset(network, density=DENSITY, seed=SEED)
+    rng = np.random.default_rng(3)
+    nodes = [
+        int(n)
+        for n in rng.choice(NUM_NODES, size=QUERY_NODES, replace=False)
+    ]
+
+    # -- build ---------------------------------------------------------
+    builds: dict = {}
+    # keep_trees=True matches the shard configuration (shards always
+    # retain their spanning trees for stitching), so the persisted
+    # payloads being compared are like for like.
+    start = time.perf_counter()
+    mono = SignatureIndex.build(
+        network.copy(), dataset, backend="scipy", keep_trees=True
+    )
+    builds["1"] = round(time.perf_counter() - start, 3)
+    sharded: dict = {}
+    for count in SHARD_COUNTS:
+        start = time.perf_counter()
+        sharded[count] = ShardedSignatureIndex.build(
+            network.copy(), dataset, num_shards=count, backend="scipy"
+        )
+        builds[str(count)] = round(time.perf_counter() - start, 3)
+
+    # -- partition quality ---------------------------------------------
+    report = partition_network(network, 4).report(network)
+    partition_quality = {
+        "cut_edges": report.cut_edges,
+        "cut_fraction": round(report.cut_fraction, 4),
+        "boundary_nodes": report.boundary_nodes,
+        "boundary_fraction": round(report.boundary_fraction, 4),
+        "balance": round(report.balance, 4),
+    }
+
+    # -- exactness spot-check on the bench network ---------------------
+    for count in SHARD_COUNTS:
+        for node in nodes[:10]:
+            assert sharded[count].range_query(node, RADIUS) == (
+                mono.range_query(node, RADIUS)
+            )
+            assert sharded[count].knn(node, K) == mono.knn(node, K)
+
+    # -- latency -------------------------------------------------------
+    latency = {"1": _mean_latency_ms(mono, nodes)}
+    for count in SHARD_COUNTS:
+        latency[str(count)] = _mean_latency_ms(sharded[count], nodes)
+
+    # -- per-process memory --------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        mono_dir = Path(tmp) / "mono"
+        v3_dir = Path(tmp) / "sharded4"
+        save_index(mono, mono_dir)
+        save_index(sharded[4], v3_dir)
+        memory = {"monolith": _probe_rss(mono_dir, "mono", 0, nodes)}
+        per_shard = []
+        for shard in sharded[4].shards:
+            if shard.index is None:
+                continue
+            per_shard.append(
+                _probe_rss(v3_dir, "shard", shard.shard_id, nodes)
+            )
+        memory["shards"] = per_shard
+        memory["max_shard_delta_kib"] = max(
+            p["delta_kib"] for p in per_shard
+        )
+        memory["max_shard_after_kib"] = max(
+            p["after_kib"] for p in per_shard
+        )
+
+    return {
+        "config": {
+            "num_nodes": NUM_NODES,
+            "density": DENSITY,
+            "seed": SEED,
+            "query_nodes": QUERY_NODES,
+            "radius": RADIUS,
+            "k": K,
+            "quick": QUICK,
+        },
+        "build_seconds": builds,
+        "partition_quality": partition_quality,
+        "latency_ms": latency,
+        "memory": memory,
+    }
+
+
+def _summary_line(payload: dict) -> str:
+    mem = payload["memory"]
+    quality = payload["partition_quality"]
+    return (
+        f"shard: {payload['config']['num_nodes']} nodes, "
+        f"boundary {quality['boundary_fraction']:.1%}, "
+        f"mono load +{mem['monolith']['delta_kib'] / 1024:.1f} MiB vs "
+        f"worst shard +{mem['max_shard_delta_kib'] / 1024:.1f} MiB "
+        f"(4 shards); range "
+        f"{payload['latency_ms']['1']['range']:.2f} -> "
+        f"{payload['latency_ms']['4']['range']:.2f} ms"
+    )
+
+
+def test_shard_memory_and_latency():
+    payload = _run_bench()
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    line = _summary_line(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with (RESULTS_DIR / "shard.txt").open("a") as handle:
+        handle.write(line + "\n")
+    print(f"\n{line}\n[appended to {RESULTS_DIR / 'shard.txt'}]")
+    print(f"[written to {JSON_PATH}]")
+
+    # Partition quality: the seam, not a constant fraction of the graph.
+    quality = payload["partition_quality"]
+    assert quality["boundary_fraction"] < MAX_BOUNDARY_FRACTION, quality
+    assert quality["balance"] <= 1.11, quality
+
+    # The memory claim: every shard worker's load payload (and its total
+    # peak RSS) stays strictly below the monolith's.
+    memory = payload["memory"]
+    assert memory["max_shard_delta_kib"] < memory["monolith"]["delta_kib"], (
+        memory
+    )
+    assert memory["max_shard_after_kib"] < memory["monolith"]["after_kib"], (
+        memory
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-x", "-q", "-p", "no:cacheprovider"]))

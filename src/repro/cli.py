@@ -5,7 +5,9 @@ Usage (also via ``python -m repro``):
 ```
 repro generate-network net.txt --nodes 2000 --seed 7
 repro generate-dataset net.txt objects.txt --density 0.01 --seed 1
+repro partition net.txt --shards 4
 repro build net.txt objects.txt index_dir --partition optimal
+repro build net.txt objects.txt index_dir --shards 4
 repro info index_dir
 repro query index_dir knn --node 42 --k 5
 repro query index_dir range --node 42 --radius 50
@@ -84,6 +86,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cluster count for a non-uniform dataset (0 = uniform)",
     )
 
+    part = sub.add_parser(
+        "partition",
+        help="partition a network into shards and report cut quality",
+    )
+    part.add_argument("network", help="network file to read")
+    part.add_argument("--shards", type=int, default=2)
+    part.add_argument(
+        "--refine-passes",
+        type=int,
+        default=2,
+        help="greedy boundary-refinement passes after bisection",
+    )
+    part.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
     build = sub.add_parser("build", help="build and persist a signature index")
     build.add_argument("network", help="network file")
     build.add_argument("dataset", help="dataset file")
@@ -109,6 +127,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-compress",
         action="store_true",
         help="skip §5.3 signature compression",
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "build a sharded index over this many network partitions "
+            "(1 = monolithic, the default); persisted as format v3"
+        ),
+    )
+    build.add_argument(
+        "--refine-passes",
+        type=int,
+        default=2,
+        help="partition refinement passes (only with --shards > 1)",
     )
 
     info = sub.add_parser("info", help="describe a persisted index")
@@ -214,7 +247,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help=(
             "processes executing coalesced batches; above 1 the index is "
-            "snapshotted once (format v2) and mmapped by every worker"
+            "snapshotted once (format v2) and mmapped by every worker; a "
+            "sharded index instead gets one single-shard worker per shard"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "with --demo-nodes: build the demo index sharded; workers "
+            "default to the shard count (one process per shard)"
         ),
     )
 
@@ -305,6 +348,18 @@ def _cmd_generate_dataset(args) -> int:
     return 0
 
 
+def _cmd_partition(args) -> int:
+    from repro.shard import partition_network
+
+    network = load_network(args.network)
+    node_partition = partition_network(
+        network, args.shards, refine_passes=args.refine_passes
+    )
+    report = node_partition.report(network)
+    print(report.to_json() if args.json else report.describe())
+    return 0
+
+
 def _cmd_build(args) -> int:
     network = load_network(args.network)
     dataset = load_dataset(args.dataset)
@@ -324,6 +379,28 @@ def _cmd_build(args) -> int:
             f"empirical optimizer: c={partition.c:g}, "
             f"T={partition.first_boundary:g}"
         )
+    if args.shards > 1:
+        from repro.shard import ShardedSignatureIndex
+
+        index = ShardedSignatureIndex.build(
+            network,
+            dataset,
+            partition,
+            num_shards=args.shards,
+            refine_passes=args.refine_passes,
+            compress=not args.no_compress,
+        )
+        save_index(index, args.index_dir)
+        stats = index.stats()
+        print(
+            f"built sharded index in {args.index_dir}: "
+            f"{stats['shards']} shards, "
+            f"{stats['categories']} categories, "
+            f"{stats['boundary_nodes']} boundary nodes "
+            f"({stats['boundary_nodes'] / stats['nodes']:.1%} of nodes), "
+            f"{stats['cut_edges']} cut edges"
+        )
+        return 0
     index = SignatureIndex.build(
         network,
         dataset,
@@ -341,8 +418,40 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _logical_reads(index) -> int:
+    """Total logical page reads, summed over shards for a sharded index."""
+    shards = getattr(index, "shards", None)
+    if shards is not None:
+        return sum(
+            shard.index.counter.logical_reads
+            for shard in shards
+            if shard.index is not None
+        )
+    return index.counter.logical_reads
+
+
 def _cmd_info(args) -> int:
     index = load_index(args.index_dir)
+    stats = index.stats()
+    if stats["type"] == "sharded":
+        print(f"type:                sharded ({stats['shards']} shards)")
+        print(f"nodes:               {stats['nodes']}")
+        print(f"edges:               {stats['edges']}")
+        print(f"objects:             {stats['objects']}")
+        print(f"categories:          {stats['categories']}")
+        print(f"stored encoding:     {stats['stored']}")
+        print(f"boundary nodes:      {stats['boundary_nodes']} "
+              f"({stats['boundary_nodes'] / stats['nodes']:.1%} of nodes)")
+        print(f"cut edges:           {stats['cut_edges']}")
+        for entry in stats["per_shard"]:
+            print(
+                f"  shard {entry['shard']}: {entry['nodes']} nodes, "
+                f"{entry['objects']} objects, "
+                f"{entry['boundary']} boundary, "
+                f"{entry['pseudo_objects']} pseudo objects, "
+                f"{entry.get('signature_pages', 0)} signature pages"
+            )
+        return 0
     report = index.storage_report()
     print(f"nodes:               {index.network.num_nodes}")
     print(f"edges:               {index.network.num_edges}")
@@ -392,7 +501,7 @@ def _cmd_query(args) -> int:
     else:  # distance
         print(f"{index.distance(args.node, args.object_node):g}")
     print(
-        f"# page accesses: {index.counter.logical_reads}", file=sys.stderr
+        f"# page accesses: {_logical_reads(index)}", file=sys.stderr
     )
     return 0
 
@@ -416,8 +525,16 @@ def _cmd_stats(args) -> int:
         print(metrics_to_prometheus(index.metrics))
     else:
         print(metrics_summary_table(index.metrics, title=args.index_dir))
+        stats = index.stats()
+        if stats["type"] == "sharded":
+            for entry in stats["per_shard"]:
+                print(
+                    f"# shard {entry['shard']}: {entry['nodes']} nodes, "
+                    f"{entry['boundary']} boundary",
+                    file=sys.stderr,
+                )
         print(
-            f"# page accesses: {index.counter.logical_reads}",
+            f"# page accesses: {_logical_reads(index)}",
             file=sys.stderr,
         )
     return 0
@@ -438,7 +555,14 @@ def _cmd_serve(args) -> int:
             f"demo index: {network.num_nodes} nodes, {len(dataset)} objects",
             file=sys.stderr,
         )
-        index = SignatureIndex.build(network, dataset, keep_trees=True)
+        if args.shards > 1:
+            from repro.shard import ShardedSignatureIndex
+
+            index = ShardedSignatureIndex.build(
+                network, dataset, num_shards=args.shards
+            )
+        else:
+            index = SignatureIndex.build(network, dataset, keep_trees=True)
     elif args.index_dir:
         index = load_index(args.index_dir)
     else:
@@ -447,9 +571,17 @@ def _cmd_serve(args) -> int:
         )
         return 2
     if args.decoded_cache is not None:
-        index.enable_decoded_cache(
-            None if args.decoded_cache == 0 else args.decoded_cache
-        )
+        capacity = None if args.decoded_cache == 0 else args.decoded_cache
+        if hasattr(index, "enable_decoded_cache"):
+            index.enable_decoded_cache(capacity)
+        else:  # sharded: the cache lives on each shard index
+            for shard in index.shards:
+                if shard.index is not None:
+                    shard.index.enable_decoded_cache(capacity)
+    workers = args.workers
+    num_shards = getattr(index, "num_shards", 1)
+    if num_shards > 1 and workers == 1:
+        workers = num_shards  # one single-shard worker per shard
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -459,7 +591,7 @@ def _cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms,
         shed_latency_ms=args.shed_latency_ms,
         degrade_latency_ms=args.degrade_latency_ms,
-        workers=args.workers,
+        workers=workers,
     )
     server = QueryServer(index, config)
 
@@ -561,6 +693,7 @@ def _cmd_trace(args) -> int:
 _COMMANDS = {
     "generate-network": _cmd_generate_network,
     "generate-dataset": _cmd_generate_dataset,
+    "partition": _cmd_partition,
     "build": _cmd_build,
     "info": _cmd_info,
     "network-info": _cmd_network_info,

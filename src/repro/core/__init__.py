@@ -48,6 +48,7 @@ from repro.core.encoding import (
     rzp_decode,
 )
 from repro.core.index import IndexStorageReport, SignatureIndex
+from repro.core.interface import DistanceIndex
 from repro.core.queries import KnnType
 from repro.core.signature import (
     LINK_HERE,
@@ -66,6 +67,7 @@ from repro.core.vectorized import (
 )
 
 __all__ = [
+    "DistanceIndex",
     "SignatureIndex",
     "ColumnarSignatureStore",
     "PathSegment",

@@ -940,6 +940,27 @@ class SignatureIndex:
             object_table_bytes=self.object_table.size_bytes(),
         )
 
+    def stats(self) -> dict:
+        """Structural summary as plain data (CLI ``stats``, dashboards).
+
+        The same shape :meth:`~repro.shard.sharded.ShardedSignatureIndex.stats`
+        returns, with ``type="monolithic"`` and a single implicit shard.
+        """
+        report = self.storage_report()
+        return {
+            "type": "monolithic",
+            "shards": 1,
+            "nodes": self.network.num_nodes,
+            "edges": self.network.num_edges,
+            "objects": len(self.dataset),
+            "categories": self.partition.num_categories,
+            "stored": self.stored_kind,
+            "query_engine": self.query_engine,
+            "signature_pages": report.signature_pages,
+            "adjacency_pages": report.adjacency_pages,
+            "object_table_bytes": report.object_table_bytes,
+        }
+
     def reset_counters(self) -> None:
         """Zero the page-access counter and decompression tally."""
         self.counter.reset()

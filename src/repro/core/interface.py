@@ -1,0 +1,117 @@
+"""The :class:`DistanceIndex` protocol — the query/update/stats surface.
+
+Historically every layer of the library imported the concrete
+:class:`~repro.core.index.SignatureIndex`: persistence, the serving
+stack, the CLI, and the workload harness all called its methods
+directly.  With the sharded index (:mod:`repro.shard`) there are now two
+implementations of the same surface, so the contract those layers
+actually rely on is captured here as a :func:`typing.runtime_checkable`
+:class:`typing.Protocol`.
+
+Any object satisfying this protocol can be persisted with
+:func:`~repro.core.persistence.save_index`, served by
+:class:`~repro.serve.QueryServer`, and driven by the CLI and the
+workload harness — this is the library's extension point for alternative
+index organizations (see ``docs/API.md``).
+
+The protocol is structural: implementations do not inherit from it.
+``isinstance(index, DistanceIndex)`` checks method *presence* only (the
+usual runtime-protocol caveat — signatures are not verified).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.queries import KnnType
+from repro.core.update import UpdateReport
+
+__all__ = ["DistanceIndex"]
+
+
+@runtime_checkable
+class DistanceIndex(Protocol):
+    """What every distance index exposes (monolithic or sharded).
+
+    Attributes
+    ----------
+    network:
+        The indexed :class:`~repro.network.graph.RoadNetwork`.
+    dataset:
+        The indexed :class:`~repro.network.datasets.ObjectDataset`.
+    partition:
+        The §5.1 :class:`~repro.core.categories.CategoryPartition`.
+    metrics:
+        The bound :class:`~repro.obs.metrics.MetricsRegistry` (swap with
+        :meth:`use_metrics`).
+    """
+
+    network: Any
+    dataset: Any
+    partition: Any
+    metrics: Any
+
+    # -- queries (§4) --------------------------------------------------
+    def distance(self, node: int, object_node: int) -> float:
+        """Exact network distance from ``node`` to an object (Alg 1)."""
+        ...
+
+    def range_query(
+        self, node: int, radius: float, *, with_distances: bool = False
+    ):
+        """Objects within ``radius`` of ``node`` (Alg 5), as node ids."""
+        ...
+
+    def range_query_batch(
+        self, nodes, radius: float, *, with_distances: bool = False
+    ):
+        """One range query per node, results aligned with ``nodes``."""
+        ...
+
+    def knn(self, node: int, k: int, *, knn_type: KnnType = KnnType.SET):
+        """The k nearest objects to ``node`` (Alg 6)."""
+        ...
+
+    def knn_batch(self, nodes, k: int, *, knn_type: KnnType = KnnType.SET):
+        """One kNN query per node, results aligned with ``nodes``."""
+        ...
+
+    def knn_approximate(self, node: int, k: int) -> list[int]:
+        """Category-only kNN (observer voting, §3.2.2)."""
+        ...
+
+    def aggregate_range(
+        self, node: int, radius: float, aggregate: str = "count"
+    ) -> float:
+        """Aggregate over the objects within ``radius`` (§4.3)."""
+        ...
+
+    # -- updates (§5.4) ------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> UpdateReport:
+        """Insert an edge and incrementally maintain the index."""
+        ...
+
+    def remove_edge(self, u: int, v: int) -> UpdateReport:
+        """Remove an edge and incrementally maintain the index."""
+        ...
+
+    def set_edge_weight(self, u: int, v: int, weight: float) -> UpdateReport:
+        """Re-weight an edge (dispatches to §5.4.1/§5.4.2)."""
+        ...
+
+    # -- observability / reporting -------------------------------------
+    def use_metrics(self, registry) -> None:
+        """Swap the metrics registry and rebind cached instruments."""
+        ...
+
+    def trace(self):
+        """Context manager recording a span tree for the block."""
+        ...
+
+    def stats(self) -> dict:
+        """Structural summary (nodes, objects, categories, shards...)."""
+        ...
+
+    def verify(self, *, sample_nodes: int = 16, seed: int = 0) -> None:
+        """Self-check sampled distances against fresh Dijkstra runs."""
+        ...

@@ -34,6 +34,13 @@ per component plus one Dijkstra per object, while updates still work on
 the loaded index (private pages, the snapshot is never mutated).  Both
 versions load transparently through :func:`load_index`; ``repro
 compact`` migrates a v1 directory in place.
+
+Version 3 stores a *sharded* index: a shard manifest plus one complete,
+independently mmap-able v2 directory per shard — see
+:mod:`repro.shard.persistence`.  :func:`save_index` dispatches by index
+type (or explicit ``format=3``) and :func:`load_index` by magic line.
+Directories with an unrecognized or future magic raise a typed
+:class:`~repro.errors.PersistenceError` carrying the found magic.
 """
 
 from __future__ import annotations
@@ -45,7 +52,7 @@ import numpy as np
 from repro.core.categories import CategoryPartition
 from repro.core.encoding import BitReader, BitWriter, rzp_code
 from repro.core.signature import LINK_HERE, LINK_NONE, SignatureTable
-from repro.errors import EncodingError, IndexError_
+from repro.errors import EncodingError, IndexError_, PersistenceError
 from repro.network.datasets import ObjectDataset
 from repro.network.graph import RoadNetwork
 from repro.network.io import load_network, save_network
@@ -60,6 +67,7 @@ __all__ = [
 
 _MAGIC = "repro-signature-index 1"
 _MAGIC_V2 = "repro-signature-index 2"
+_MAGIC_V3 = "repro-signature-index 3"
 
 # Links are stored shifted by 2 so the sentinels (-1 "here", -2 "none")
 # fit an unsigned field alongside adjacency positions 0..R-1.
@@ -164,18 +172,41 @@ def deserialize_table(
     return table
 
 
-def save_index(index, directory: str | Path, *, format: int = 2) -> None:
-    """Persist a :class:`~repro.core.index.SignatureIndex` to a directory.
+def save_index(index, directory: str | Path, *, format: int | None = None) -> None:
+    """Persist a distance index (monolithic or sharded) to a directory.
 
-    ``format=2`` (default) writes the columnar array files under
-    ``columnar/`` — including the object distance table and, when the
-    index was built with ``keep_trees=True``, the §5.4 spanning trees —
-    for O(1) mmap loading.  ``format=1`` writes the legacy §5.2 bit
-    stream (``signatures.bin``); v1 never persists trees and its load
-    path recomputes the object table from the network.
+    ``format=None`` (default) picks the natural format for the index:
+    3 for a :class:`~repro.shard.sharded.ShardedSignatureIndex` (a shard
+    manifest plus independently mmap-able per-shard v2 directories, see
+    :mod:`repro.shard.persistence`), 2 for a monolithic
+    :class:`~repro.core.index.SignatureIndex`.
+
+    ``format=2`` writes the columnar array files under ``columnar/`` —
+    including the object distance table and, when the index was built
+    with ``keep_trees=True``, the §5.4 spanning trees — for O(1) mmap
+    loading.  ``format=1`` writes the legacy §5.2 bit stream
+    (``signatures.bin``); v1 never persists trees and its load path
+    recomputes the object table from the network.
     """
-    if format not in (1, 2):
-        raise IndexError_(f"unknown index format {format!r}; use 1 or 2")
+    sharded = getattr(index, "num_shards", 1) > 1 or hasattr(index, "shards")
+    if format is None:
+        format = 3 if sharded else 2
+    if format not in (1, 2, 3):
+        raise IndexError_(f"unknown index format {format!r}; use 1, 2, or 3")
+    if format == 3:
+        if not sharded:
+            raise IndexError_(
+                "format 3 stores sharded indexes; save this monolithic "
+                "index with format 2 (or shard it first)"
+            )
+        from repro.shard.persistence import save_sharded_index
+
+        save_sharded_index(index, directory)
+        return
+    if sharded:
+        raise IndexError_(
+            f"a sharded index can only be saved as format 3, not {format}"
+        )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     save_network(index.network, directory / "network.txt")
@@ -242,14 +273,27 @@ def load_index(directory: str | Path):
     object) and resolves compressed components component by component.
     """
     directory = Path(directory)
-    lines = (directory / "meta.txt").read_text().splitlines()
+    meta_path = directory / "meta.txt"
+    if not meta_path.exists():
+        raise PersistenceError(
+            f"{directory}: not a saved index (no meta.txt)"
+        )
+    lines = meta_path.read_text().splitlines()
     magic = lines[0] if lines else ""
-    if magic not in (_MAGIC, _MAGIC_V2):
-        raise IndexError_(f"{directory}: not a saved signature index")
+    if magic not in (_MAGIC, _MAGIC_V2, _MAGIC_V3):
+        raise PersistenceError(
+            f"{directory}: unrecognized index format (found magic "
+            f"{magic!r}; this build reads {_MAGIC!r} through {_MAGIC_V3!r})",
+            magic=magic,
+        )
     meta: dict[str, str] = {}
     for line in lines[1:]:
         key, _, value = line.partition(" ")
         meta[key] = value
+    if magic == _MAGIC_V3:
+        from repro.shard.persistence import load_sharded_index
+
+        return load_sharded_index(directory, meta)
     if magic == _MAGIC_V2:
         return _load_index_v2(directory, meta)
     return _load_index_v1(directory, meta)

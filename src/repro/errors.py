@@ -70,6 +70,19 @@ class IndexError_(ReproError):
     """
 
 
+class PersistenceError(IndexError_):
+    """A persisted index directory cannot be loaded.
+
+    Carries the offending magic line in :attr:`magic` when the failure is
+    an unrecognized (or future) on-disk format, so callers can report
+    exactly what was found instead of a generic parse error.
+    """
+
+    def __init__(self, message: str, *, magic: str | None = None) -> None:
+        super().__init__(message)
+        self.magic = magic
+
+
 class QueryError(ReproError, ValueError):
     """A query is malformed (e.g. negative range radius, k < 1).
 

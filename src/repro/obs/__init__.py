@@ -38,6 +38,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabelledRegistry,
     MetricsRegistry,
     NullRegistry,
     get_default_registry,
@@ -50,6 +51,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LabelledRegistry",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",

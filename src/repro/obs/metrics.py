@@ -30,6 +30,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LabelledRegistry",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
@@ -265,6 +266,50 @@ class MetricsRegistry:
             f"{type(self).__name__}(counters={len(self._counters)}, "
             f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
         )
+
+
+class LabelledRegistry(MetricsRegistry):
+    """A labelled view onto a parent registry.
+
+    Every instrument created through this view lives in the *parent*
+    under ``{name}.{label}`` — e.g. a shard index bound to
+    ``LabelledRegistry(parent, "shard2")`` records its query histograms
+    as ``query.range.seconds.shard2`` next to the coordinator's
+    unlabelled ``query.range.seconds``.  One parent snapshot/export thus
+    carries the per-shard breakdown with no label machinery in the hot
+    path (the Prometheus exporter sanitizes the dots as usual).
+
+    The view is stateless beyond the name mapping: ``enabled``,
+    ``snapshot`` and ``reset`` delegate to the parent.
+    """
+
+    def __init__(self, parent: MetricsRegistry, label: str) -> None:
+        if not label:
+            raise ValueError("registry label must be non-empty")
+        self.parent = parent
+        self.label = label
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return self.parent.enabled
+
+    def _labelled(self, name: str) -> str:
+        return f"{name}.{self.label}"
+
+    def counter(self, name: str) -> Counter:
+        return self.parent.counter(self._labelled(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.parent.gauge(self._labelled(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self.parent.histogram(self._labelled(name))
+
+    def snapshot(self) -> dict:
+        return self.parent.snapshot()
+
+    def reset(self) -> None:
+        self.parent.reset()
 
 
 class _NullCounter(Counter):

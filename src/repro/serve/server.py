@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.core.queries import KnnType
 from repro.core.vectorized import category_bound_arrays, decode_signature_row
-from repro.errors import ReproError
+from repro.errors import QueryError, ReproError
 from repro.obs.export import metrics_to_prometheus
 from repro.serve import workers as worker_mod
 from repro.serve.admission import AdmissionController, Rejected, deadline_scope
@@ -166,6 +166,7 @@ class QueryServer:
         self._registry = registry
         self._server: asyncio.AbstractServer | None = None
         self._pool: ProcessPoolExecutor | None = None
+        self._shard_pools: list[ProcessPoolExecutor | None] | None = None
         self._snapshot_tmp: tempfile.TemporaryDirectory | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._active_requests = 0
@@ -183,8 +184,13 @@ class QueryServer:
         the batch to a worker process and returns the executor future —
         the coalescer awaits it while still holding the coordinator's
         read gate, so the ``(epoch, log)`` pair captured here stays
-        consistent until the answer lands.
+        consistent until the answer lands.  With shard pools (a sharded
+        index behind ``workers == num_shards``): returns a coroutine the
+        coalescer awaits — nodes route to their owning shard's worker
+        for exact local rows, and the coordinator stitches + selects.
         """
+        if self._shard_pools is not None:
+            return self._dispatch_shard_batch(key, list(nodes))
         if self._pool is not None:
             loop = asyncio.get_running_loop()
             return loop.run_in_executor(
@@ -206,6 +212,77 @@ class QueryServer:
             KnnType.EXACT_DISTANCES if with_distances else KnnType.SET
         )
         return self.index.knn_batch(nodes, k, knn_type=knn_type)
+
+    async def _dispatch_shard_batch(self, key: BatchKey, nodes: list) -> list:
+        """Shard-routed execution of one coalesced batch.
+
+        Nodes are grouped by owning shard and each group goes to that
+        shard's worker process, which answers exact local spanning-tree
+        rows at the batch's epoch.  Stitching across shards and result
+        selection run here on the coordinator — identical math to
+        :meth:`ShardedSignatureIndex._exact_row`, so answers are exactly
+        the monolithic ones.
+        """
+        from repro.core.builder import categorize_array
+        from repro.shard.sharded import select_knn, select_range, stitch_row
+
+        index = self.index
+        epoch = self.coordinator.epoch
+        log = tuple(self.coordinator.update_log)
+        loop = asyncio.get_running_loop()
+        by_shard: dict[int, list[int]] = {}
+        for node in nodes:
+            by_shard.setdefault(int(index.assignment[node]), []).append(node)
+        futures = {}
+        for shard_id, members in by_shard.items():
+            pool = self._shard_pools[shard_id]
+            if pool is None:  # empty shard: no index, every row is inf
+                continue
+            locals_ = [int(index.local_index[node]) for node in members]
+            futures[shard_id] = loop.run_in_executor(
+                pool, worker_mod.run_shard_rows, epoch, log, locals_
+            )
+        stitched: dict[int, np.ndarray] = {}
+        for shard_id, members in by_shard.items():
+            future = futures.get(shard_id)
+            if future is None:
+                for node in members:
+                    stitched[node] = np.full(len(index.dataset), np.inf)
+                continue
+            for node, row in zip(members, await future):
+                stitched[node] = stitch_row(index, shard_id, row)
+        results = []
+        if key.kind == "range":
+            radius, with_distances = key.params
+            for node in nodes:
+                hits = select_range(
+                    index, stitched[node], radius,
+                    with_distances=with_distances,
+                )
+                if with_distances:
+                    results.append(
+                        [(index.dataset[rank], d) for rank, d in hits]
+                    )
+                else:
+                    results.append([index.dataset[rank] for rank in hits])
+            return results
+        k, with_distances = key.params
+        knn_type = KnnType.EXACT_DISTANCES if with_distances else KnnType.SET
+        for node in nodes:
+            out = stitched[node]
+            cats = categorize_array(index.partition, out)
+            hits = select_knn(index, out, cats, k, knn_type)
+            if with_distances:
+                results.append([(index.dataset[rank], d) for rank, d in hits])
+            else:
+                results.append([index.dataset[rank] for rank in hits])
+        return results
+
+    def _approx_range(self, node: int, radius: float) -> list[int]:
+        """Degraded range answer for whichever index type is served."""
+        if hasattr(self.index, "approximate_range"):
+            return self.index.approximate_range(node, radius)
+        return approximate_range(self.index, node, radius)
 
     def _check_node(self, node: int) -> int:
         """Per-request node validation, *before* batching.
@@ -255,7 +332,7 @@ class QueryServer:
         status, payload = await self._serve_coalesced(
             key,
             node,
-            lambda: {"objects": approximate_range(self.index, node, radius)},
+            lambda: {"objects": self._approx_range(node, radius)},
         )
         if "result" in payload:
             result = payload.pop("result")
@@ -359,6 +436,7 @@ class QueryServer:
             "nodes": self.index.network.num_nodes,
             "objects": len(self.index.dataset),
             "workers": self.config.workers,
+            "shards": getattr(self.index, "num_shards", 1),
             # Distance scale of the served index: remote clients (the
             # load generator in particular) need it to form radii that
             # land in a chosen category band.
@@ -572,14 +650,7 @@ class QueryServer:
         non-batched endpoints (``/v1/distance``, ``/v1/aggregate``,
         degraded answers) and for applying §5.4 updates.
         """
-        if self.config.snapshot_dir is not None:
-            snapshot = Path(self.config.snapshot_dir)
-            snapshot.mkdir(parents=True, exist_ok=True)
-        else:
-            self._snapshot_tmp = tempfile.TemporaryDirectory(
-                prefix="repro-serve-"
-            )
-            snapshot = Path(self._snapshot_tmp.name)
+        snapshot = self._snapshot_path()
         from repro.core.persistence import save_index
 
         save_index(self.index, snapshot, format=2)
@@ -606,10 +677,74 @@ class QueryServer:
             snapshot,
         )
 
+    def _snapshot_path(self) -> Path:
+        if self.config.snapshot_dir is not None:
+            snapshot = Path(self.config.snapshot_dir)
+            snapshot.mkdir(parents=True, exist_ok=True)
+            return snapshot
+        self._snapshot_tmp = tempfile.TemporaryDirectory(
+            prefix="repro-serve-"
+        )
+        return Path(self._snapshot_tmp.name)
+
+    def _start_shard_pools(self) -> None:
+        """Snapshot the sharded index (format v3) and fork K shard pools.
+
+        One single-process pool per shard: each worker maps *only* its
+        own ``shard-NNNN/`` directory, so resident memory per worker is
+        ~1/K of the monolithic footprint.  Batches route nodes to their
+        owning shard's pool; the coordinator stitches.
+        """
+        num_shards = self.index.num_shards
+        if self.config.workers != num_shards:
+            raise QueryError(
+                f"serving a {num_shards}-shard index needs exactly one "
+                f"worker per shard: set workers={num_shards}, got "
+                f"{self.config.workers}"
+            )
+        snapshot = self._snapshot_path()
+        from repro.core.persistence import save_index
+
+        save_index(self.index, snapshot, format=3)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context()
+        self._shard_pools = []
+        for shard_id in range(num_shards):
+            if self.index.shards[shard_id].index is None:
+                self._shard_pools.append(None)
+                continue
+            self._shard_pools.append(
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=ctx,
+                    initializer=worker_mod.init_shard_worker,
+                    initargs=(str(snapshot), shard_id),
+                )
+            )
+        # Startup barrier: every shard worker must map its shard now,
+        # not on the first query.
+        for pool in self._shard_pools:
+            if pool is not None:
+                pool.submit(worker_mod.warm_shard).result()
+        logger.info(
+            "shard pools up: %d single-process pools mapping %s",
+            num_shards,
+            snapshot,
+        )
+
     async def start(self) -> None:
         """Bind and start accepting; resolves :attr:`port` when 0."""
-        if self.config.workers > 1 and self._pool is None:
-            self._start_pool()
+        if (
+            self.config.workers > 1
+            and self._pool is None
+            and self._shard_pools is None
+        ):
+            if getattr(self.index, "num_shards", 1) > 1:
+                self._start_shard_pools()
+            else:
+                self._start_pool()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -648,6 +783,11 @@ class QueryServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._shard_pools is not None:
+            for pool in self._shard_pools:
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+            self._shard_pools = None
         if self._snapshot_tmp is not None:
             self._snapshot_tmp.cleanup()
             self._snapshot_tmp = None

@@ -1,0 +1,53 @@
+"""Sharded signature indexing: partition the network, index each shard,
+stitch queries across shards through the boundary overlay.
+
+* :mod:`repro.shard.partition` — balanced edge-cut partitioning of a
+  :class:`~repro.network.graph.RoadNetwork` with cut-quality reporting;
+* :mod:`repro.shard.sharded` — :class:`ShardedSignatureIndex`, a
+  :class:`~repro.core.interface.DistanceIndex` built from K per-shard
+  signature indexes plus a boundary×boundary distance overlay, answering
+  every query *exactly* like the monolithic index;
+* :mod:`repro.shard.persistence` — format v3 save/load (shard manifest
+  + independently mmap-able per-shard v2 directories) and the per-worker
+  single-shard loader used by multi-process serving.
+"""
+
+from repro.shard.partition import (
+    NetworkPartition,
+    PartitionReport,
+    partition_network,
+)
+from repro.shard.persistence import (
+    MAGIC_V3,
+    ShardWorkerState,
+    load_shard_worker,
+    load_sharded_index,
+    save_sharded_index,
+)
+from repro.shard.sharded import (
+    ShardState,
+    ShardedSignatureIndex,
+    select_aggregate,
+    select_knn,
+    select_knn_approximate,
+    select_range,
+    stitch_row,
+)
+
+__all__ = [
+    "MAGIC_V3",
+    "NetworkPartition",
+    "PartitionReport",
+    "ShardState",
+    "ShardWorkerState",
+    "ShardedSignatureIndex",
+    "load_shard_worker",
+    "load_sharded_index",
+    "partition_network",
+    "save_sharded_index",
+    "select_aggregate",
+    "select_knn",
+    "select_knn_approximate",
+    "select_range",
+    "stitch_row",
+]

@@ -1,0 +1,311 @@
+"""Balanced edge-cut partitioning of a road network.
+
+The sharded index (:mod:`repro.shard.sharded`) needs the node set split
+into K balanced parts with as few *cut* edges as possible: every
+boundary node (a node with a neighbor in another part) becomes a pseudo
+object in its shard's signature index, so the boundary set directly
+sizes the per-shard memory overhead, and the cut size bounds the overlay
+graph the cross-shard stitching runs on.
+
+Road networks make this easy: they are near-planar with geographically
+meaningful coordinates, so recursive coordinate bisection — split the
+node set at the median of the wider axis, recurse — yields provably
+balanced parts with O(sqrt(N))-ish cuts in practice (the same geometric
+observation Zhu et al. exploit: road-network partitions have tiny
+boundary sets).  A greedy Kernighan–Lin-style refinement pass then moves
+individual boundary nodes whose neighbors mostly live across the cut,
+which typically shaves 10–30 % off the cut without unbalancing the
+parts.  Everything is numpy + stdlib and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.network.graph import RoadNetwork
+
+__all__ = ["NetworkPartition", "PartitionReport", "partition_network"]
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Cut-quality summary of a :class:`NetworkPartition`."""
+
+    num_parts: int
+    part_sizes: list[int]
+    total_edges: int
+    cut_edges: int
+    boundary_per_part: list[int]
+    boundary_nodes: int
+    refinement_moves: int
+
+    @property
+    def cut_fraction(self) -> float:
+        """Cut edges / total edges."""
+        return self.cut_edges / self.total_edges if self.total_edges else 0.0
+
+    @property
+    def boundary_fraction(self) -> float:
+        """Boundary nodes / total nodes."""
+        total = sum(self.part_sizes)
+        return self.boundary_nodes / total if total else 0.0
+
+    @property
+    def balance(self) -> float:
+        """Largest part / ideal part size (1.0 = perfectly balanced)."""
+        if not self.part_sizes:
+            return 1.0
+        ideal = sum(self.part_sizes) / len(self.part_sizes)
+        return max(self.part_sizes) / ideal if ideal else 1.0
+
+    def as_dict(self) -> dict:
+        """Plain-data view (CLI ``--json``, bench payloads)."""
+        return {
+            "num_parts": self.num_parts,
+            "part_sizes": self.part_sizes,
+            "total_edges": self.total_edges,
+            "cut_edges": self.cut_edges,
+            "cut_fraction": self.cut_fraction,
+            "boundary_per_part": self.boundary_per_part,
+            "boundary_nodes": self.boundary_nodes,
+            "boundary_fraction": self.boundary_fraction,
+            "balance": self.balance,
+            "refinement_moves": self.refinement_moves,
+        }
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (the CLI's default output)."""
+        lines = [
+            f"parts:              {self.num_parts}",
+            f"part sizes:         {self.part_sizes}",
+            f"cut edges:          {self.cut_edges} / {self.total_edges} "
+            f"({self.cut_fraction:.1%})",
+            f"boundary nodes:     {self.boundary_nodes} "
+            f"({self.boundary_fraction:.1%} of nodes)",
+            f"boundary per part:  {self.boundary_per_part}",
+            f"balance:            {self.balance:.3f} (max part / ideal)",
+            f"refinement moves:   {self.refinement_moves}",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """An assignment of every node to one of ``num_parts`` parts.
+
+    ``assignment[node]`` is the part id.  Derived structure (per-part
+    node lists, boundary sets, cut edges) is computed once against the
+    network the partition was made for and cached on the instance.
+    """
+
+    num_parts: int
+    assignment: np.ndarray
+    refinement_moves: int = 0
+    _cache: dict = field(
+        default_factory=dict, repr=False, hash=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        assignment = np.asarray(self.assignment, dtype=np.int32)
+        object.__setattr__(self, "assignment", assignment)
+        if self.num_parts < 1:
+            raise GraphError(f"num_parts must be >= 1, got {self.num_parts}")
+        if assignment.ndim != 1:
+            raise GraphError("partition assignment must be one-dimensional")
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= self.num_parts
+        ):
+            raise GraphError(
+                f"assignment values must lie in [0, {self.num_parts}); got "
+                f"range [{assignment.min()}, {assignment.max()}]"
+            )
+
+    def part_nodes(self, part: int) -> np.ndarray:
+        """Global node ids of ``part``, ascending."""
+        return np.flatnonzero(self.assignment == part)
+
+    def _derive(self, network: RoadNetwork) -> tuple:
+        key = id(network)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if network.num_nodes != self.assignment.size:
+            raise GraphError(
+                f"partition covers {self.assignment.size} nodes but the "
+                f"network has {network.num_nodes}"
+            )
+        cut_edges: list[tuple[int, int, float]] = []
+        boundary_mask = np.zeros(network.num_nodes, dtype=bool)
+        assignment = self.assignment
+        for edge in network.edges():
+            if assignment[edge.u] != assignment[edge.v]:
+                cut_edges.append((edge.u, edge.v, edge.weight))
+                boundary_mask[edge.u] = True
+                boundary_mask[edge.v] = True
+        derived = (tuple(cut_edges), boundary_mask)
+        self._cache.clear()  # one network at a time; avoid unbounded growth
+        self._cache[key] = derived
+        return derived
+
+    def cut_edges(self, network: RoadNetwork) -> list[tuple[int, int, float]]:
+        """Edges with endpoints in different parts, as ``(u, v, weight)``."""
+        return list(self._derive(network)[0])
+
+    def boundary_mask(self, network: RoadNetwork) -> np.ndarray:
+        """Boolean mask over nodes: incident to at least one cut edge."""
+        return self._derive(network)[1].copy()
+
+    def boundary_nodes(self, network: RoadNetwork, part: int) -> np.ndarray:
+        """Boundary node ids of ``part``, ascending."""
+        mask = self._derive(network)[1]
+        return np.flatnonzero(mask & (self.assignment == part))
+
+    def report(self, network: RoadNetwork) -> PartitionReport:
+        """Cut-quality report against ``network``."""
+        cut, boundary_mask = self._derive(network)
+        sizes = [
+            int((self.assignment == part).sum())
+            for part in range(self.num_parts)
+        ]
+        per_part = [
+            int(len(self.boundary_nodes(network, part)))
+            for part in range(self.num_parts)
+        ]
+        return PartitionReport(
+            num_parts=self.num_parts,
+            part_sizes=sizes,
+            total_edges=network.num_edges,
+            cut_edges=len(cut),
+            boundary_per_part=per_part,
+            boundary_nodes=int(boundary_mask.sum()),
+            refinement_moves=self.refinement_moves,
+        )
+
+
+def _bisect(
+    order: np.ndarray,
+    coords: np.ndarray,
+    parts: int,
+    first_part: int,
+    out: np.ndarray,
+) -> None:
+    """Recursively split ``order`` (node ids) into ``parts`` labels.
+
+    Splits along the axis with the wider coordinate extent, at the
+    position that gives each side a node count proportional to its part
+    count (exact for powers of two, proportional otherwise).  Sorting is
+    stable with node id as tiebreaker, so the result is deterministic for
+    any input order.
+    """
+    if parts == 1:
+        out[order] = first_part
+        return
+    pts = coords[order]
+    extent = pts.max(axis=0) - pts.min(axis=0)
+    axis = 0 if extent[0] >= extent[1] else 1
+    ranked = order[np.lexsort((order, pts[:, axis]))]
+    left_parts = parts // 2
+    split = round(len(ranked) * left_parts / parts)
+    split = min(max(split, left_parts), len(ranked) - (parts - left_parts))
+    _bisect(ranked[:split], coords, left_parts, first_part, out)
+    _bisect(
+        ranked[split:], coords, parts - left_parts, first_part + left_parts, out
+    )
+
+
+def _refine(
+    network: RoadNetwork,
+    assignment: np.ndarray,
+    num_parts: int,
+    passes: int,
+    max_part_size: int,
+) -> int:
+    """Greedy boundary refinement: move nodes whose neighbors mostly live
+    across the cut.  Returns the number of moves made.
+
+    A node moves to the neighboring part with the highest positive gain
+    (neighbor edges gained minus lost), provided the target part stays
+    within ``max_part_size`` and the source part keeps at least one node.
+    Nodes are visited in ascending id order; the whole procedure is
+    deterministic.
+    """
+    sizes = np.bincount(assignment, minlength=num_parts)
+    moves = 0
+    for _ in range(passes):
+        moved_this_pass = 0
+        for node in range(network.num_nodes):
+            home = int(assignment[node])
+            counts: dict[int, int] = {}
+            for neighbor, _w in network.neighbors(node):
+                part = int(assignment[neighbor])
+                counts[part] = counts.get(part, 0) + 1
+            if len(counts) <= 1 and home in counts:
+                continue  # interior node
+            home_links = counts.get(home, 0)
+            best_part, best_gain = home, 0
+            for part in sorted(counts):
+                if part == home:
+                    continue
+                gain = counts[part] - home_links
+                if gain > best_gain:
+                    best_part, best_gain = part, gain
+            if (
+                best_part != home
+                and sizes[best_part] < max_part_size
+                and sizes[home] > 1
+            ):
+                assignment[node] = best_part
+                sizes[home] -= 1
+                sizes[best_part] += 1
+                moved_this_pass += 1
+        moves += moved_this_pass
+        if not moved_this_pass:
+            break
+    return moves
+
+
+def partition_network(
+    network: RoadNetwork,
+    num_parts: int,
+    *,
+    refine_passes: int = 2,
+    balance_tolerance: float = 0.10,
+) -> NetworkPartition:
+    """Partition ``network`` into ``num_parts`` balanced parts.
+
+    Recursive coordinate bisection over the node coordinates, followed by
+    ``refine_passes`` rounds of greedy boundary refinement bounded by
+    ``balance_tolerance`` (no part may exceed ``ceil(ideal * (1 +
+    tolerance))`` nodes).  Deterministic: no randomness anywhere.
+    """
+    if num_parts < 1:
+        raise GraphError(f"num_parts must be >= 1, got {num_parts}")
+    if network.num_nodes < num_parts:
+        raise GraphError(
+            f"cannot split {network.num_nodes} nodes into {num_parts} parts"
+        )
+    assignment = np.zeros(network.num_nodes, dtype=np.int32)
+    if num_parts > 1:
+        coords = np.array(
+            [network.coordinates(node) for node in network.nodes()],
+            dtype=float,
+        )
+        order = np.arange(network.num_nodes)
+        _bisect(order, coords, num_parts, 0, assignment)
+    moves = 0
+    if num_parts > 1 and refine_passes > 0:
+        ideal = network.num_nodes / num_parts
+        max_part_size = int(np.ceil(ideal * (1.0 + balance_tolerance)))
+        moves = _refine(
+            network, assignment, num_parts, refine_passes, max_part_size
+        )
+    return NetworkPartition(
+        num_parts=num_parts, assignment=assignment, refinement_moves=moves
+    )

@@ -1,0 +1,277 @@
+"""Shard-vs-monolith oracle: every query answer must be *identical*.
+
+The sharded index is not an approximation — per-shard signature indexes
+over (local objects ∪ boundary nodes) plus the boundary overlay
+reconstruct the exact global distance vector, so range/kNN/distance/
+aggregate answers (including tie-breaking order) must equal the
+monolithic :class:`~repro.core.SignatureIndex` bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import KnnType, SignatureIndex
+from repro.errors import DisconnectedError, IndexError_, QueryError
+from repro.network import (
+    ObjectDataset,
+    grid_network,
+    random_planar_network,
+    uniform_dataset,
+)
+from repro.network.dijkstra import shortest_path_tree
+from repro.shard import ShardedSignatureIndex
+
+AGGREGATES = ("count", "min", "max", "sum", "mean")
+
+
+def _eq(a, b) -> bool:
+    """Equality that treats nan == nan (empty-range "mean")."""
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+def _networks():
+    net1 = random_planar_network(300, seed=42)
+    net2 = grid_network(12, 14)
+    net3 = random_planar_network(500, seed=9)
+    return [
+        ("planar300", net1, uniform_dataset(net1, density=0.04, seed=7)),
+        ("grid12x14", net2, ObjectDataset([0, 5, 37, 81, 100, 133, 167])),
+        ("planar500", net3, uniform_dataset(net3, density=0.03, seed=1)),
+    ]
+
+
+@pytest.fixture(scope="module", params=_networks(), ids=lambda c: c[0])
+def case(request):
+    name, network, dataset = request.param
+    mono = SignatureIndex.build(network.copy(), dataset, backend="scipy")
+    sharded = {
+        k: ShardedSignatureIndex.build(
+            network.copy(), dataset, num_shards=k, backend="scipy"
+        )
+        for k in (2, 4)
+    }
+    return name, network, dataset, mono, sharded
+
+
+def _sample_nodes(network, count=24, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        int(n)
+        for n in rng.choice(network.num_nodes, size=count, replace=False)
+    ]
+
+
+class TestExactEquivalence:
+    def test_category_partition_matches(self, case):
+        _, _, _, mono, sharded = case
+        for index in sharded.values():
+            assert index.partition.boundaries == mono.partition.boundaries
+
+    def test_range_queries(self, case):
+        _, network, _, mono, sharded = case
+        nodes = _sample_nodes(network)
+        for index in sharded.values():
+            for node in nodes:
+                for radius in (0.0, 15.0, 40.0, 80.0):
+                    assert index.range_query(node, radius) == (
+                        mono.range_query(node, radius)
+                    )
+                    assert index.range_query(
+                        node, radius, with_distances=True
+                    ) == mono.range_query(node, radius, with_distances=True)
+
+    def test_knn_all_types(self, case):
+        _, network, dataset, mono, sharded = case
+        nodes = _sample_nodes(network)
+        for index in sharded.values():
+            for node in nodes:
+                for k in (1, 3, len(dataset)):
+                    for knn_type in KnnType:
+                        assert index.knn(node, k, knn_type=knn_type) == (
+                            mono.knn(node, k, knn_type=knn_type)
+                        ), (node, k, knn_type)
+                assert index.knn_approximate(node, 3) == (
+                    mono.knn_approximate(node, 3)
+                )
+
+    def test_distance_including_disconnected(self, case):
+        _, network, dataset, mono, sharded = case
+        nodes = _sample_nodes(network, count=12)
+        for index in sharded.values():
+            for node in nodes:
+                for object_node in dataset:
+                    try:
+                        expected = mono.distance(node, object_node)
+                    except DisconnectedError:
+                        with pytest.raises(DisconnectedError):
+                            index.distance(node, object_node)
+                        continue
+                    assert index.distance(node, object_node) == expected
+
+    def test_aggregates(self, case):
+        _, network, _, mono, sharded = case
+        nodes = _sample_nodes(network, count=12)
+        for index in sharded.values():
+            for node in nodes:
+                for radius in (0.0, 25.0, 60.0):
+                    for aggregate in AGGREGATES:
+                        assert _eq(
+                            index.aggregate_range(node, radius, aggregate),
+                            mono.aggregate_range(node, radius, aggregate),
+                        ), (node, radius, aggregate)
+
+    def test_batch_entry_points(self, case):
+        _, network, _, mono, sharded = case
+        nodes = _sample_nodes(network, count=10)
+        for index in sharded.values():
+            assert index.range_query_batch(nodes, 40.0) == (
+                mono.range_query_batch(nodes, 40.0)
+            )
+            assert index.knn_batch(
+                nodes, 3, knn_type=KnnType.EXACT_DISTANCES
+            ) == mono.knn_batch(nodes, 3, knn_type=KnnType.EXACT_DISTANCES)
+
+    def test_query_validation_matches(self, case):
+        _, _, _, _, sharded = case
+        index = sharded[2]
+        with pytest.raises(QueryError):
+            index.range_query(0, -1.0)
+        with pytest.raises(QueryError):
+            index.knn(0, 0)
+        with pytest.raises(QueryError):
+            index.aggregate_range(0, 10.0, "median-of-medians")
+
+    def test_verify_passes(self, case):
+        _, _, _, _, sharded = case
+        for index in sharded.values():
+            index.verify(sample_nodes=8)
+
+
+class TestCrossShardStructure:
+    """The equivalence must hold *because* stitching crosses shards —
+    prove the test cases actually exercise cross-shard paths."""
+
+    def test_knn_results_span_multiple_shards(self):
+        network = random_planar_network(300, seed=42)
+        dataset = uniform_dataset(network, density=0.04, seed=7)
+        index = ShardedSignatureIndex.build(
+            network, dataset, num_shards=4, backend="scipy"
+        )
+        mono = SignatureIndex.build(network, dataset, backend="scipy")
+        spanning = 0
+        for node in _sample_nodes(network, count=16, seed=3):
+            result = index.knn(node, 7)
+            assert result == mono.knn(node, 7)
+            owners = {int(index.assignment[obj]) for obj in result}
+            if len(owners) >= 2:
+                spanning += 1
+        assert spanning > 0, "no sampled kNN crossed a shard boundary"
+
+    def test_objects_clustered_in_one_shard(self):
+        """Queries from shards that own zero objects must stitch every
+        answer through the boundary."""
+        network = random_planar_network(300, seed=42)
+        index = None
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            # Cluster all objects around one anchor node's coordinates.
+            anchor = int(rng.integers(network.num_nodes))
+            ax, ay = network.coordinates(anchor)
+            dist2 = [
+                (network.coordinates(n)[0] - ax) ** 2
+                + (network.coordinates(n)[1] - ay) ** 2
+                for n in range(network.num_nodes)
+            ]
+            dataset = ObjectDataset(sorted(np.argsort(dist2)[:8].tolist()))
+            candidate = ShardedSignatureIndex.build(
+                network.copy(), dataset, num_shards=4, backend="scipy"
+            )
+            owners = {int(candidate.assignment[obj]) for obj in dataset}
+            if len(owners) == 1:
+                index = candidate
+                break
+        assert index is not None, "could not cluster objects into one shard"
+        mono = SignatureIndex.build(network, dataset, backend="scipy")
+        empty_shards = set(range(4)) - owners
+        for shard_id in empty_shards:
+            nodes = np.flatnonzero(index.assignment == shard_id)[:6]
+            for node in nodes:
+                node = int(node)
+                assert index.knn(node, 4) == mono.knn(node, 4)
+                assert index.range_query(node, 60.0) == (
+                    mono.range_query(node, 60.0)
+                )
+
+    def test_random_partitions_stay_exact(self):
+        """Exactness cannot depend on the partitioner being geometric:
+        an adversarial random assignment must still answer exactly."""
+        from repro.shard import NetworkPartition
+
+        network = random_planar_network(200, seed=11)
+        dataset = uniform_dataset(network, density=0.05, seed=2)
+        mono = SignatureIndex.build(network.copy(), dataset, backend="scipy")
+        for seed in (0, 1):
+            rng = np.random.default_rng(seed)
+            assignment = rng.integers(0, 3, size=network.num_nodes).astype(
+                np.int32
+            )
+            node_partition = NetworkPartition(
+                num_parts=3, assignment=assignment
+            )
+            index = ShardedSignatureIndex.build(
+                network.copy(),
+                dataset,
+                node_partition=node_partition,
+                backend="scipy",
+            )
+            for node in _sample_nodes(network, count=8, seed=seed):
+                assert index.range_query(node, 30.0, with_distances=True) == (
+                    mono.range_query(node, 30.0, with_distances=True)
+                )
+                assert index.knn(node, 5) == mono.knn(node, 5)
+
+
+class TestStitchedDistanceProperty:
+    """Hypothesis: stitched distances equal fresh Dijkstra, any seed."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 1000), num_shards=st.sampled_from([2, 3, 4]))
+    def test_stitched_equals_dijkstra(self, seed, num_shards):
+        network = random_planar_network(120, seed=seed % 7)
+        dataset = uniform_dataset(network, density=0.05, seed=seed % 5)
+        index = ShardedSignatureIndex.build(
+            network, dataset, num_shards=num_shards, backend="scipy"
+        )
+        rng = np.random.default_rng(seed)
+        nodes = rng.choice(network.num_nodes, size=6, replace=False)
+        trees = {
+            obj: shortest_path_tree(network, obj) for obj in dataset
+        }
+        for node in nodes:
+            node = int(node)
+            for rank, obj in enumerate(dataset):
+                truth = trees[obj].distance[node]
+                try:
+                    got = index.distance(node, obj)
+                except DisconnectedError:
+                    assert math.isinf(truth)
+                    continue
+                assert got == truth, (node, obj, got, truth)
+
+
+def test_empty_dataset_rejected():
+    network = random_planar_network(60, seed=0)
+    with pytest.raises(IndexError_):
+        ShardedSignatureIndex.build(network, ObjectDataset([]), num_shards=2)

@@ -1,0 +1,100 @@
+"""The network partitioner: balance, cut quality, determinism, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.network import grid_network, random_planar_network
+from repro.shard import NetworkPartition, partition_network
+
+
+class TestPartitionNetwork:
+    @pytest.mark.parametrize("num_parts", [1, 2, 3, 4, 8])
+    def test_covers_every_node_within_balance(self, small_net, num_parts):
+        partition = partition_network(small_net, num_parts)
+        assert partition.num_parts == num_parts
+        sizes = [len(partition.part_nodes(p)) for p in range(num_parts)]
+        assert sum(sizes) == small_net.num_nodes
+        assert all(size >= 1 for size in sizes)
+        ideal = small_net.num_nodes / num_parts
+        assert max(sizes) <= np.ceil(ideal * 1.10)
+
+    def test_single_part_is_trivial(self, small_net):
+        partition = partition_network(small_net, 1)
+        assert partition.report(small_net).cut_edges == 0
+        assert partition.report(small_net).boundary_nodes == 0
+
+    def test_cut_is_small_on_planar_networks(self, small_net):
+        report = partition_network(small_net, 2).report(small_net)
+        # Coordinate bisection of a planar network cuts a thin seam, not
+        # a constant fraction of the edges.
+        assert report.cut_fraction < 0.15
+        assert report.boundary_fraction < 0.15
+
+    def test_refinement_never_worsens_the_cut(self, small_net):
+        unrefined = partition_network(small_net, 4, refine_passes=0)
+        refined = partition_network(small_net, 4, refine_passes=2)
+        assert (
+            refined.report(small_net).cut_edges
+            <= unrefined.report(small_net).cut_edges
+        )
+
+    def test_deterministic(self, small_net):
+        a = partition_network(small_net, 4)
+        b = partition_network(small_net, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_grid_bisection_is_a_straight_seam(self):
+        net = grid_network(10, 10)
+        report = partition_network(net, 2, refine_passes=0).report(net)
+        # A 10x10 unit grid splits along one row/column: exactly 10 cut
+        # edges and 20 boundary nodes.
+        assert report.cut_edges == 10
+        assert report.boundary_nodes == 20
+
+    def test_errors(self, small_net):
+        with pytest.raises(GraphError):
+            partition_network(small_net, 0)
+        tiny = random_planar_network(6, seed=0)
+        with pytest.raises(GraphError):
+            partition_network(tiny, 7)
+
+
+class TestNetworkPartition:
+    def test_cut_edges_and_boundary_agree(self, small_net):
+        partition = partition_network(small_net, 3)
+        cut = partition.cut_edges(small_net)
+        mask = partition.boundary_mask(small_net)
+        seen = set()
+        for u, v, _w in cut:
+            assert partition.assignment[u] != partition.assignment[v]
+            seen.add(u)
+            seen.add(v)
+        assert seen == set(np.flatnonzero(mask))
+        for part in range(3):
+            nodes = partition.boundary_nodes(small_net, part)
+            assert all(partition.assignment[n] == part for n in nodes)
+
+    def test_validation(self, small_net):
+        with pytest.raises(GraphError):
+            NetworkPartition(num_parts=2, assignment=np.array([0, 1, 2]))
+        with pytest.raises(GraphError):
+            NetworkPartition(
+                num_parts=0, assignment=np.zeros(4, dtype=np.int32)
+            )
+        partition = partition_network(small_net, 2)
+        other = random_planar_network(50, seed=1)
+        with pytest.raises(GraphError):
+            partition.cut_edges(other)
+
+    def test_report_round_trips_as_json(self, small_net):
+        import json
+
+        report = partition_network(small_net, 4).report(small_net)
+        payload = json.loads(report.to_json())
+        assert payload["num_parts"] == 4
+        assert payload["boundary_nodes"] == report.boundary_nodes
+        assert 0.99 <= payload["balance"] <= 1.11
+        assert "boundary nodes" in report.describe()
