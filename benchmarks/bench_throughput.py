@@ -335,9 +335,14 @@ def test_throughput(engines, query_suite):
         ),
     )
 
-    # Identical page charges: the engines differ in CPU only.
+    # Identical page charges: the engines differ in CPU only — except
+    # kNN, where the batch entry point shares one refinement frontier
+    # across the whole workload and may legitimately read fewer pages.
     for workload, (scalar_m, vec_m, _) in results.items():
-        assert vec_m.pages == pytest.approx(scalar_m.pages), workload
+        if workload == "knn":
+            assert vec_m.pages <= scalar_m.pages * (1 + 1e-9), workload
+        else:
+            assert vec_m.pages == pytest.approx(scalar_m.pages), workload
     # The tentpole claim: ≥5× queries/sec on the vectorized range path.
     assert payload["queries"]["range"]["speedup"] >= MIN_SPEEDUP
     # Instrumentation must stay cheap enough to remain on by default.

@@ -80,6 +80,7 @@ _NULL_SCOPE = _NullScope()
 
 _SIZE_KINDS = ("raw", "encoded", "compressed")
 _QUERY_ENGINES = ("vectorized", "scalar", "columnar")
+_KNN_REFINE_MODES = ("pruned", "legacy")
 
 
 def _coerce_batch_nodes(nodes) -> list[int]:
@@ -228,6 +229,7 @@ class SignatureIndex:
         stored_kind: str = "compressed",
         buffer_pool: LRUBufferPool | None = None,
         query_engine: str = "vectorized",
+        knn_refine: str = "pruned",
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if stored_kind not in _SIZE_KINDS:
@@ -238,6 +240,11 @@ class SignatureIndex:
             raise IndexError_(
                 f"query_engine must be one of {_QUERY_ENGINES}, got "
                 f"{query_engine!r}"
+            )
+        if knn_refine not in _KNN_REFINE_MODES:
+            raise IndexError_(
+                f"knn_refine must be one of {_KNN_REFINE_MODES}, got "
+                f"{knn_refine!r}"
             )
         self.network = network
         self.dataset = dataset
@@ -253,6 +260,11 @@ class SignatureIndex:
         self.buffer_pool = buffer_pool
         self.decompressions = 0
         self.query_engine = query_engine
+        #: kNN boundary resolution: "pruned" routes through the
+        #: bound-pruned shared-frontier core (repro.core.knn_refine),
+        #: "legacy" keeps the pairwise Algorithm 2/4 resolution.  Results
+        #: are bit-identical either way; only the I/O profile differs.
+        self.knn_refine = knn_refine
         # Observability: an own registry (cheap, on by default — swap in
         # repro.obs.NULL_REGISTRY to disable), no tracer until trace().
         self.tracer: Tracer | None = None
@@ -285,6 +297,7 @@ class SignatureIndex:
         storage_schema: str = "separate",
         buffer_pool: LRUBufferPool | None = None,
         query_engine: str = "vectorized",
+        knn_refine: str = "pruned",
         workers: int | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> "SignatureIndex":
@@ -357,6 +370,7 @@ class SignatureIndex:
             stored_kind="compressed" if compress else "encoded",
             buffer_pool=buffer_pool,
             query_engine=query_engine,
+            knn_refine=knn_refine,
             metrics=registry,
         )
         index.compression_stats = stats
@@ -471,6 +485,11 @@ class SignatureIndex:
         self.metrics = registry
         self._metric_backtrack_hops = registry.counter("backtrack.hops")
         self._metric_compare_rounds = registry.counter("compare.rounds")
+        self._metric_refine_pruned = registry.counter("knn_refine.pruned")
+        self._metric_refine_refined = registry.counter("knn_refine.refined")
+        self._metric_refine_reuse = registry.counter(
+            "knn_refine.frontier_hits"
+        )
         self.decoded.bind_metrics(registry)
 
     def _scope(self, kind: str, *, count: int = 1, counter=None, **attrs):
@@ -956,6 +975,7 @@ class SignatureIndex:
             "categories": self.partition.num_categories,
             "stored": self.stored_kind,
             "query_engine": self.query_engine,
+            "knn_refine": self.knn_refine,
             "signature_pages": report.signature_pages,
             "adjacency_pages": report.adjacency_pages,
             "object_table_bytes": report.object_table_bytes,

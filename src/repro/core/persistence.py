@@ -226,6 +226,7 @@ def save_index(index, directory: str | Path, *, format: int | None = None) -> No
         f"encoding {encoding}",
         f"drop_last {int(index.object_table._drop_last_category)}",
         f"query_engine {index.query_engine}",
+        f"knn_refine {index.knn_refine}",
         f"decoded_cache {cache_spec}",
     ]
     if format == 1:
@@ -358,6 +359,7 @@ def _load_index_v1(directory: Path, meta: dict[str, str]):
         object_table,
         stored_kind=encoding,
         query_engine=meta.get("query_engine", "vectorized"),
+        knn_refine=meta.get("knn_refine", "pruned"),
     )
     if table.compressed.any():
         # Restore the logical categories of flagged components and the
@@ -435,5 +437,6 @@ def _load_index_v2(directory: Path, meta: dict[str, str]):
         trees=trees,
         stored_kind=encoding,
         query_engine=meta.get("query_engine", "vectorized"),
+        knn_refine=meta.get("knn_refine", "pruned"),
     )
     return _restore_serving_config(index, meta)

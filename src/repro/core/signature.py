@@ -347,6 +347,18 @@ class ObjectDistanceTable:
         """D: the dataset cardinality."""
         return self._matrix.shape[0]
 
+    def matrix_view(self) -> np.ndarray:
+        """The raw ``(D, D)`` matrix as a read-only view.
+
+        ``NaN`` marks dropped finite last-category pairs; ``inf`` marks
+        disconnected pairs.  Vectorized consumers (the kNN bound pass)
+        read the whole table in one numpy expression instead of D²
+        :meth:`distance` calls.
+        """
+        view = self._matrix.view()
+        view.setflags(write=False)
+        return view
+
     def has(self, i: int, j: int) -> bool:
         """Whether the pair distance is stored (not dropped, not inf)."""
         value = self._matrix[i, j]

@@ -51,7 +51,7 @@ from repro.core.operations import (
     compare_exact,
     retrieve_distance,
 )
-from repro.core.queries import _AGGREGATES, KnnType
+from repro.core.queries import _AGGREGATES, KnnType, _pruned, _require_objects
 from repro.core.signature import DistanceRange
 from repro.errors import IndexError_, QueryError, StorageError
 from repro.obs.metrics import NULL_REGISTRY
@@ -541,16 +541,31 @@ def knn_query(
     *,
     knn_type: KnnType = KnnType.SET,
     cats_row: np.ndarray | None = None,
+    ctx=None,
 ) -> list[int] | list[tuple[int, float]]:
     """Vectorized Algorithm 6; result- and page-identical to the scalar
     :func:`repro.core.queries.knn_query`.
 
-    The category bucketing (line 1) happens as one stable argsort of the
-    decoded row; only the boundary bucket pays the Algorithm 4 sort, via
-    the cached approximate comparator.
+    With ``knn_refine="pruned"`` (the index default) the boundary bucket
+    resolves through :mod:`repro.core.knn_refine` — ``ctx`` lets batch
+    entry points share one refinement frontier across queries.  On the
+    legacy path the category bucketing (line 1) happens as one stable
+    argsort of the decoded row; only the boundary bucket pays the
+    Algorithm 4 sort, via the cached approximate comparator.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
+    _require_objects(index)
+    if _pruned(index):
+        from repro.core import knn_refine
+
+        if cats_row is None:
+            cats_row = decode_signature_row(index, node)
+        if ctx is None:
+            ctx = knn_refine.RefinementContext(index)
+        return knn_refine.knn_select(
+            index, node, k, knn_type=knn_type, cats_row=cats_row, ctx=ctx
+        )
     index.touch_signature(node)
     if cats_row is None:
         cats_row = decode_signature_row(index, node)
@@ -627,15 +642,26 @@ def knn_query_batch(
     *,
     knn_type: KnnType = KnnType.SET,
 ) -> list:
-    """A kNN query per node of ``nodes``, rows decoded in one pass."""
+    """A kNN query per node of ``nodes``, rows decoded in one pass.
+
+    On the pruned path the whole batch shares one refinement context:
+    backtracking walks that revisit a signature or adjacency record any
+    query of the batch already read charge no further pages.
+    """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
+    _require_objects(index)
     nodes = [int(node) for node in nodes]
     if not nodes:
         return []
     rows = decode_signature_rows(index, nodes)
+    ctx = None
+    if _pruned(index):
+        from repro.core import knn_refine
+
+        ctx = knn_refine.RefinementContext(index)
     return [
-        knn_query(index, node, k, knn_type=knn_type, cats_row=rows[i])
+        knn_query(index, node, k, knn_type=knn_type, cats_row=rows[i], ctx=ctx)
         for i, node in enumerate(nodes)
     ]
 
@@ -720,10 +746,18 @@ def knn_join(
     if not nodes:
         return []
     rows = decode_signature_rows(index_b, nodes)
+    ctx = None
+    if _pruned(index_b):
+        # One refinement context per probe side (mirrors the scalar join).
+        from repro.core import knn_refine
+
+        ctx = knn_refine.RefinementContext(index_b)
     results: list[tuple[int, list[int]]] = []
     for rank_a, node_a in enumerate(nodes):
         want = k + 1 if self_join else k
-        neighbors = knn_query(index_b, node_a, want, cats_row=rows[rank_a])
+        neighbors = knn_query(
+            index_b, node_a, want, cats_row=rows[rank_a], ctx=ctx
+        )
         if self_join:
             neighbors = [rank for rank in neighbors if rank != rank_a][:k]
         results.append((rank_a, neighbors))

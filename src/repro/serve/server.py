@@ -224,7 +224,12 @@ class QueryServer:
         the monolithic ones.
         """
         from repro.core.builder import categorize_array
-        from repro.shard.sharded import select_knn, select_range, stitch_row
+        from repro.shard.sharded import (
+            select_knn,
+            select_range,
+            stitch_row,
+            stitched_knn_row,
+        )
 
         index = self.index
         epoch = self.coordinator.epoch
@@ -242,6 +247,13 @@ class QueryServer:
             futures[shard_id] = loop.run_in_executor(
                 pool, worker_mod.run_shard_rows, epoch, log, locals_
             )
+        # kNN batches skip remote shards whose lower bound loses to the
+        # k-th upper bound (same rule as ShardedSignatureIndex._knn_row);
+        # skipped objects can never reach the answer, so it stays exact.
+        prune_k = None
+        if key.kind != "range" and index.knn_refine == "pruned":
+            prune_k = key.params[0]
+        shards_skipped = 0
         stitched: dict[int, np.ndarray] = {}
         for shard_id, members in by_shard.items():
             future = futures.get(shard_id)
@@ -250,7 +262,18 @@ class QueryServer:
                     stitched[node] = np.full(len(index.dataset), np.inf)
                 continue
             for node, row in zip(members, await future):
-                stitched[node] = stitch_row(index, shard_id, row)
+                if prune_k is not None:
+                    out, skipped = stitched_knn_row(
+                        index, shard_id, row, prune_k
+                    )
+                    stitched[node] = out
+                    shards_skipped += skipped
+                else:
+                    stitched[node] = stitch_row(index, shard_id, row)
+        if shards_skipped and self._registry.enabled:
+            self._registry.counter("knn_refine.shards_skipped").inc(
+                shards_skipped
+            )
         results = []
         if key.kind == "range":
             radius, with_distances = key.params

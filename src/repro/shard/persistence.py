@@ -105,6 +105,7 @@ def save_sharded_index(index, directory: str | Path) -> None:
         f"encoding {index.stored_kind}",
         f"drop_last {int(index._drop_last)}",
         f"query_engine {index.query_engine}",
+        f"knn_refine {index.knn_refine}",
     ]
     # meta.txt last: its presence marks the directory complete.
     (directory / "meta.txt").write_text("\n".join(meta) + "\n")
@@ -242,6 +243,7 @@ def load_sharded_index(directory: str | Path, meta: dict[str, str]):
         drop_last_category_pairs=meta.get("drop_last", "1") == "1",
         stored_kind=meta.get("encoding", "compressed"),
         query_engine=meta.get("query_engine", "vectorized"),
+        knn_refine=meta.get("knn_refine", "pruned"),
     )
 
 
