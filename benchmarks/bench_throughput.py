@@ -265,6 +265,7 @@ def _write_json(results, construction, num_objects, breakdown, overhead):
             "num_objects": num_objects,
             "num_queries": NUM_QUERIES,
             "knn_k": KNN_K,
+            "quick": QUICK,
         },
         "queries": {},
         "construction_seconds": construction,

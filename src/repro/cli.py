@@ -17,6 +17,7 @@ repro trace index_dir range --node 42 --radius 50
 repro serve index_dir --port 8080
 repro serve index_dir --port 8080 --workers 4
 repro loadgen --port 8080 --clients 64 --duration 5
+repro top --port 8080
 repro compact index_dir
 ```
 
@@ -260,6 +261,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "default to the shard count (one process per shard)"
         ),
     )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=250.0,
+        help=(
+            "capture requests slower than this (stage breakdown, batch "
+            "membership, span trees) into the /v1/debug ring; 0 disables"
+        ),
+    )
+    serve.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="PATH",
+        help="append captured slow-query records to PATH as JSON lines",
+    )
 
     compact = sub.add_parser(
         "compact",
@@ -298,6 +314,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fail-on-error",
         action="store_true",
         help="exit 1 if any request errored (CI smoke gating)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard polling a running server's /metrics",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8080)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between /metrics scrapes",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after this many frames (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing (logs, tests, pipes)",
     )
 
     trace = sub.add_parser(
@@ -594,6 +634,8 @@ def _cmd_serve(args) -> int:
         shed_latency_ms=args.shed_latency_ms,
         degrade_latency_ms=args.degrade_latency_ms,
         workers=workers,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
     )
     server = QueryServer(index, config)
 
@@ -651,6 +693,26 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    import asyncio
+
+    from repro.serve import run_top
+
+    try:
+        asyncio.run(
+            run_top(
+                args.host,
+                args.port,
+                interval_s=args.interval,
+                iterations=args.iterations,
+                clear=not args.no_clear,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_compact(args) -> int:
     from pathlib import Path
 
@@ -703,6 +765,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "top": _cmd_top,
     "compact": _cmd_compact,
     "trace": _cmd_trace,
 }

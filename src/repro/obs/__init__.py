@@ -29,6 +29,7 @@ from repro.obs.export import (
     metrics_summary_table,
     metrics_to_json_lines,
     metrics_to_prometheus,
+    parse_prometheus_text,
     render_trace,
     trace_to_json_lines,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "metrics_to_json_lines",
     "metrics_to_prometheus",
     "metrics_summary_table",
+    "parse_prometheus_text",
     "trace_to_json_lines",
     "render_trace",
     "configure_logging",

@@ -24,6 +24,7 @@ __all__ = [
     "metrics_to_json_lines",
     "metrics_to_prometheus",
     "metrics_summary_table",
+    "parse_prometheus_text",
     "trace_to_json_lines",
     "render_trace",
 ]
@@ -99,6 +100,29 @@ def metrics_to_prometheus(registry, *, prefix: str = "repro") -> str:
         lines.append(f"{metric}_sum {_prom_value(summary.get('sum', 0.0))}")
         lines.append(f"{metric}_count {summary.get('count', 0)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Sample values out of a Prometheus text exposition.
+
+    The scraping half of :func:`metrics_to_prometheus`, used by the
+    ``repro top`` dashboard and the serving tests.  Returns
+    ``{sample_name: value}`` where the sample name keeps any label set
+    verbatim (``repro_serve_batch_size{quantile="0.95"}``); comment and
+    malformed lines are skipped.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            continue
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            continue
+    return samples
 
 
 def _table(headers: list[str], rows: list[list[str]], title: str) -> str:

@@ -39,6 +39,11 @@ __all__ = [
     "use_registry",
 ]
 
+#: Version tag carried by every serialized registry state, so a consumer
+#: can reject payloads from an incompatible producer instead of folding
+#: garbage into live instruments.
+STATE_VERSION = 1
+
 
 class Counter:
     """A monotonically increasing integer tally."""
@@ -151,6 +156,48 @@ class Histogram:
                 return min(max(midpoint, self.min), self.max)
         return self.max  # pragma: no cover - cumulative always reaches count
 
+    def state(self) -> dict:
+        """Full-fidelity serializable state (see :meth:`merge_state`).
+
+        Unlike :meth:`summary`, which collapses the buckets into
+        quantiles, this carries the raw bucket counts — two histograms
+        can be combined exactly from their states, which is what the
+        cross-process collection path needs (worker deltas folded into
+        the coordinator's registry must equal a single-registry run).
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zeros": self._zeros,
+            "buckets": dict(self._buckets),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Exact: counts, sums, zero tallies, and per-bucket counts add;
+        min/max combine.  Bucket keys arriving as strings (a JSON round
+        trip) are accepted.  Merging an empty state is a no-op.
+        """
+        count = int(state.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(state.get("total", 0.0))
+        state_min, state_max = state.get("min"), state.get("max")
+        if state_min is not None and state_min < self.min:
+            self.min = float(state_min)
+        if state_max is not None and state_max > self.max:
+            self.max = float(state_max)
+        self._zeros += int(state.get("zeros", 0))
+        for index, bucket_count in state.get("buckets", {}).items():
+            index = int(index)
+            self._buckets[index] = self._buckets.get(index, 0) + int(
+                bucket_count
+            )
+
     @property
     def p50(self) -> float:
         return self.quantile(0.50)
@@ -255,6 +302,74 @@ class MetricsRegistry:
             },
         }
 
+    # -- cross-process collection --------------------------------------
+    def state(self) -> dict:
+        """The registry as full-fidelity serializable data.
+
+        Counters and gauges carry their values; histograms carry raw
+        bucket states (:meth:`Histogram.state`), so a consumer can
+        :meth:`merge_state` exactly.  The payload is plain dict/list/
+        scalar data — pickleable across a process pool and JSON-safe
+        apart from integer bucket keys (which :meth:`Histogram.
+        merge_state` re-parses).
+        """
+        return {
+            "version": STATE_VERSION,
+            "counters": {
+                name: c.value for name, c in self._counters.items() if c.value
+            },
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "histograms": {
+                name: h.state()
+                for name, h in self._histograms.items()
+                if h.count
+            },
+        }
+
+    def drain(self) -> dict:
+        """:meth:`state`, then reset counters and histograms (not gauges).
+
+        This is the worker side of the delta protocol: each call returns
+        exactly what was recorded since the previous one, so successive
+        drains merged anywhere sum to the ground truth.  Gauges are
+        last-value-wins measurements — their current value *is* the
+        delta — so they are reported but never zeroed.
+        """
+        state = self.state()
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+        return state
+
+    def merge_state(self, state: dict, *, label: str | None = None) -> None:
+        """Fold a :meth:`state`/:meth:`drain` payload into this registry.
+
+        With ``label``, every instrument lands under ``{name}.{label}``
+        — the same naming scheme :class:`LabelledRegistry` uses — so a
+        coordinator can keep per-shard worker deltas separate:
+        ``registry.merge_state(delta, label="shard2")`` records the
+        worker's ``pages.logical`` as ``pages.logical.shard2``.
+
+        Counters and histogram states add; gauges overwrite (last value
+        wins, matching their semantics).  Merging is exact, so the sum
+        of worker deltas equals what one shared registry would have
+        recorded.
+        """
+        version = state.get("version", STATE_VERSION)
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"cannot merge registry state version {version!r} "
+                f"(this process speaks {STATE_VERSION})"
+            )
+        suffix = f".{label}" if label else ""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name + suffix).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name + suffix).set(value)
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name + suffix).merge_state(hist_state)
+
     def reset(self) -> None:
         """Zero every instrument (start of an experiment)."""
         for family in (self._counters, self._gauges, self._histograms):
@@ -307,6 +422,16 @@ class LabelledRegistry(MetricsRegistry):
 
     def snapshot(self) -> dict:
         return self.parent.snapshot()
+
+    def state(self) -> dict:
+        return self.parent.state()
+
+    def drain(self) -> dict:
+        return self.parent.drain()
+
+    def merge_state(self, state: dict, *, label: str | None = None) -> None:
+        combined = f"{label}.{self.label}" if label else self.label
+        self.parent.merge_state(state, label=combined)
 
     def reset(self) -> None:
         self.parent.reset()

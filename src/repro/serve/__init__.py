@@ -42,6 +42,13 @@ from repro.serve.config import ServeConfig
 from repro.serve.coordinator import ReadWriteLock, UpdateCoordinator
 from repro.serve.loadgen import LoadStats, closed_loop, mixed_workload, open_loop
 from repro.serve.server import QueryServer, approximate_range, run_server
+from repro.serve.telemetry import (
+    RequestContext,
+    SlowQueryLog,
+    TelemetryCollector,
+    new_request_id,
+)
+from repro.serve.top import render_dashboard, run_top
 
 __all__ = [
     "AdmissionController",
@@ -51,14 +58,20 @@ __all__ = [
     "QueryServer",
     "ReadWriteLock",
     "Rejected",
+    "RequestContext",
     "ServeClient",
     "ServeConfig",
     "ServeResponse",
+    "SlowQueryLog",
+    "TelemetryCollector",
     "UpdateCoordinator",
     "approximate_range",
     "closed_loop",
     "mixed_workload",
+    "new_request_id",
     "open_loop",
+    "render_dashboard",
     "run_server",
+    "run_top",
     "sync_client",
 ]

@@ -33,6 +33,30 @@ from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 __all__ = ["BatchKey", "Coalescer"]
 
 
+def _wants_batch(dispatch: Callable) -> bool:
+    """Whether ``dispatch`` accepts the bucket as a third positional arg.
+
+    The richer ``dispatch(key, nodes, batch)`` contract carries request
+    identities and telemetry hooks; the classic two-argument form stays
+    supported so engine-only dispatchers (and existing tests) need not
+    care about serving telemetry.
+    """
+    try:
+        parameters = inspect.signature(dispatch).parameters.values()
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    positional = 0
+    for parameter in parameters:
+        if parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 3
+
+
 class BatchKey:
     """Identity of a coalescable request family.
 
@@ -62,15 +86,37 @@ class BatchKey:
 
 
 class _Bucket:
-    """One in-formation batch: nodes, their futures, and a linger timer."""
+    """One in-formation batch: nodes, futures, contexts, a linger timer.
 
-    __slots__ = ("key", "nodes", "futures", "timer")
+    ``contexts`` holds each member's
+    :class:`~repro.serve.telemetry.RequestContext` (or ``None`` for
+    callers that do not trace) aligned with ``nodes`` — a dispatched
+    batch knows exactly which request identities it carries, and the
+    dispatch callable can attach execution telemetry (pages, spans,
+    worker identity) back onto them.
+    """
+
+    __slots__ = ("key", "nodes", "futures", "contexts", "timer")
 
     def __init__(self, key: BatchKey) -> None:
         self.key = key
         self.nodes: list[int] = []
         self.futures: list[asyncio.Future] = []
+        self.contexts: list = []
         self.timer: asyncio.TimerHandle | None = None
+
+    @property
+    def request_ids(self) -> list[str]:
+        """Member request ids, in arrival order (untraced members skip)."""
+        return [
+            ctx.request_id for ctx in self.contexts if ctx is not None
+        ]
+
+    def attach_execution(self, **kwargs) -> None:
+        """Fan batch-level execution telemetry onto every member context."""
+        for ctx in self.contexts:
+            if ctx is not None:
+                ctx.attach_execution(**kwargs)
 
 
 class Coalescer:
@@ -100,6 +146,7 @@ class Coalescer:
         registry: MetricsRegistry | None = None,
     ) -> None:
         self._dispatch = dispatch
+        self._dispatch_wants_batch = _wants_batch(dispatch)
         self._gate = gate
         self.max_batch = max(int(max_batch), 1)
         self.max_wait = max(float(max_wait_ms), 0.0) / 1_000.0
@@ -115,8 +162,15 @@ class Coalescer:
         self._metric_batch_size = registry.histogram("serve.batch_size")
 
     # ------------------------------------------------------------------
-    async def submit(self, key: BatchKey, node: int) -> Any:
-        """Enqueue one request; resolves to this node's slice of the batch."""
+    async def submit(self, key: BatchKey, node: int, ctx=None) -> Any:
+        """Enqueue one request; resolves to this node's slice of the batch.
+
+        ``ctx`` (optional) is the request's
+        :class:`~repro.serve.telemetry.RequestContext`: its coalesce/
+        execute stage marks are recorded as the bucket moves through its
+        life, and batch membership (size + member request ids) is
+        attached at dispatch.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         bucket = self._buckets.get(key)
@@ -128,6 +182,9 @@ class Coalescer:
                 )
         bucket.nodes.append(node)
         bucket.futures.append(future)
+        bucket.contexts.append(ctx)
+        if ctx is not None:
+            ctx.mark_submit()
         if len(bucket.nodes) >= self.max_batch:
             self.flush(key)
         return await future
@@ -150,11 +207,26 @@ class Coalescer:
     async def _run(self, bucket: _Bucket) -> None:
         """Acquire the gate, dispatch, and resolve the bucket's futures."""
         gate = self._gate() if self._gate is not None else contextlib.nullcontext()
+        request_ids = bucket.request_ids
+        for ctx in bucket.contexts:
+            if ctx is not None:
+                ctx.attach_batch(len(bucket.nodes), request_ids)
         try:
             async with gate:
-                results = self._dispatch(bucket.key, bucket.nodes)
+                for ctx in bucket.contexts:
+                    if ctx is not None:
+                        ctx.mark_dispatch()
+                if self._dispatch_wants_batch:
+                    results = self._dispatch(
+                        bucket.key, bucket.nodes, bucket
+                    )
+                else:
+                    results = self._dispatch(bucket.key, bucket.nodes)
                 if inspect.isawaitable(results):
                     results = await results
+            for ctx in bucket.contexts:
+                if ctx is not None:
+                    ctx.mark_execute()
             if len(results) != len(bucket.nodes):
                 raise RuntimeError(
                     f"batch dispatch returned {len(results)} results for "

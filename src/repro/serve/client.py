@@ -16,34 +16,75 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+from time import perf_counter
+
+from repro.obs.metrics import Histogram
 
 __all__ = ["ServeClient", "ServeResponse", "sync_client"]
 
 
 class ServeResponse:
-    """One HTTP answer: ``status``, parsed ``payload``, raw ``text``."""
+    """One HTTP answer: ``status``, parsed ``payload``, raw ``text``.
 
-    __slots__ = ("status", "payload", "text")
+    ``headers`` holds the response headers (lower-cased names), which is
+    where the server reports the request's identity (``x-request-id``)
+    and its stage breakdown (``server-timing``).
+    """
 
-    def __init__(self, status: int, payload, text: str) -> None:
+    __slots__ = ("status", "payload", "text", "headers")
+
+    def __init__(
+        self,
+        status: int,
+        payload,
+        text: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self.status = status
         self.payload = payload
         self.text = text
+        self.headers = headers or {}
 
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
+
+    @property
+    def request_id(self) -> str | None:
+        """The server-assigned (or echoed) request id, when present."""
+        return self.headers.get("x-request-id")
+
+    def server_timing(self) -> dict[str, float]:
+        """Parsed ``Server-Timing`` durations in milliseconds by stage."""
+        out: dict[str, float] = {}
+        for part in self.headers.get("server-timing", "").split(","):
+            name, _, duration = part.strip().partition(";dur=")
+            if name and duration:
+                try:
+                    out[name] = float(duration)
+                except ValueError:
+                    continue
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ServeResponse(status={self.status}, payload={self.payload!r})"
 
 
 class ServeClient:
-    """One keep-alive connection to a :class:`~repro.serve.QueryServer`."""
+    """One keep-alive connection to a :class:`~repro.serve.QueryServer`.
+
+    Every request's round-trip latency lands in :attr:`latency` — the
+    same streaming-quantile histogram the server's
+    ``serve.latency_seconds`` uses, so client-observed and server-side
+    p50/p95/p99 read off identical estimators (and per-client histograms
+    merge exactly via
+    :meth:`~repro.obs.metrics.Histogram.merge_state`).
+    """
 
     def __init__(self, host: str, port: int) -> None:
         self.host = host
         self.port = int(port)
+        self.latency = Histogram("client.latency_seconds")
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -68,31 +109,56 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        request_id: str | None = None,
     ) -> ServeResponse:
-        """Issue one request, reconnecting once if the connection dropped."""
+        """Issue one request, reconnecting once if the connection dropped.
+
+        ``request_id`` (optional) is sent as ``X-Request-Id``; the
+        server adopts it instead of minting one, so a caller-chosen id
+        round-trips through logs, headers, and the response body.
+        """
         if self._writer is None:
             await self.connect()
+        start = perf_counter()
         try:
-            return await self._roundtrip(method, path, payload)
+            response = await self._roundtrip(
+                method, path, payload, request_id
+            )
         except (ConnectionError, asyncio.IncompleteReadError):
             # The server may have dropped an idle keep-alive connection
             # (e.g. across a drain); retry once on a fresh one.
             await self.close()
             await self.connect()
-            return await self._roundtrip(method, path, payload)
+            response = await self._roundtrip(
+                method, path, payload, request_id
+            )
+        self.latency.observe(perf_counter() - start)
+        return response
 
     async def _roundtrip(
-        self, method: str, path: str, payload: dict | None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        request_id: str | None = None,
     ) -> ServeResponse:
         body = b""
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode()
+        id_header = (
+            f"X-Request-Id: {request_id}\r\n" if request_id else ""
+        )
         request = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{id_header}"
             f"Connection: keep-alive\r\n\r\n"
         ).encode() + body
         self._writer.write(request)
@@ -123,7 +189,7 @@ class ServeClient:
             parsed = text
         if headers.get("connection", "").lower() == "close":
             await self.close()
-        return ServeResponse(status, parsed, text)
+        return ServeResponse(status, parsed, text, headers)
 
     # -- typed endpoint helpers ----------------------------------------
     async def range(

@@ -56,6 +56,17 @@ class ServeConfig:
       before answering (see :mod:`repro.serve.workers`);
     * ``snapshot_dir`` — where the worker snapshot is written; ``None``
       uses a temporary directory removed at shutdown.
+
+    Observability (:mod:`repro.serve.telemetry`):
+
+    * ``slow_query_ms`` — requests whose wall time crosses this are
+      captured (identity, stage breakdown, batch membership, page
+      counts, worker span trees) into the ``/v1/debug`` ring; ``0``
+      disables capture entirely;
+    * ``slow_query_log`` — optional path; captured records are appended
+      there as JSON lines (the format in ``docs/OBSERVABILITY.md``);
+    * ``debug_ring`` — how many recent slow-query records ``/v1/debug``
+      retains in memory.
     """
 
     host: str = "127.0.0.1"
@@ -70,6 +81,9 @@ class ServeConfig:
     drain_timeout_s: float = 5.0
     workers: int = 1
     snapshot_dir: str | None = None
+    slow_query_ms: float = 250.0
+    slow_query_log: str | None = None
+    debug_ring: int = 64
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -92,6 +106,14 @@ class ServeConfig:
             )
         if self.workers < 1:
             raise QueryError(f"workers must be >= 1, got {self.workers}")
+        if self.slow_query_ms < 0:
+            raise QueryError(
+                f"slow_query_ms must be >= 0, got {self.slow_query_ms}"
+            )
+        if self.debug_ring < 1:
+            raise QueryError(
+                f"debug_ring must be >= 1, got {self.debug_ring}"
+            )
 
     def replace(self, **changes) -> "ServeConfig":
         """A copy with ``changes`` applied (validation re-runs)."""

@@ -59,6 +59,26 @@ class LoadStats:
         else:
             self.errors += 1
 
+    def merge(self, other: "LoadStats") -> None:
+        """Fold another run's tallies in (the per-user → total reduce).
+
+        The latency histogram merges through the same serializable-state
+        path the serving tier uses for worker deltas
+        (:meth:`~repro.obs.metrics.Histogram.merge_state`), so the
+        merged p50/p95/p99 are exactly what one shared histogram would
+        have reported.
+        """
+        self.sent += other.sent
+        self.ok += other.ok
+        self.shed += other.shed
+        self.errors += other.errors
+        self.approximate += other.approximate
+        for status, count in other.status_counts.items():
+            self.status_counts[status] = (
+                self.status_counts.get(status, 0) + count
+            )
+        self.latency.merge_state(other.latency.state())
+
     @property
     def throughput_rps(self) -> float:
         return self.ok / self.duration_s if self.duration_s else 0.0
@@ -146,15 +166,22 @@ async def closed_loop(
     stats = LoadStats()
     deadline = time.perf_counter() + duration_s
 
-    async def user() -> None:
+    async def user() -> LoadStats:
+        # Each user tallies privately and the results merge at the end —
+        # the same delta-then-fold shape the serving tier uses across
+        # processes, exercised here across coroutines.
+        mine = LoadStats()
         async with ServeClient(host, port) as client:
             while time.perf_counter() < deadline:
                 path, payload = workload()
-                await _timed_request(client, path, payload, stats)
+                await _timed_request(client, path, payload, mine)
+        return mine
 
     start = time.perf_counter()
-    await asyncio.gather(*(user() for _ in range(clients)))
+    per_user = await asyncio.gather(*(user() for _ in range(clients)))
     stats.duration_s = time.perf_counter() - start
+    for mine in per_user:
+        stats.merge(mine)
     return stats
 
 

@@ -16,13 +16,18 @@ the body wins where both supply a key):
 ``GET/POST /v1/distance``   ``node, object`` → exact network distance
 ``GET/POST /v1/aggregate``  ``node, radius, aggregate?`` → scalar
 ``POST /v1/edges``          ``op(add|remove|set_weight), u, v, weight?``
-``GET /healthz``            liveness + admission state
+``GET /healthz``            liveness + admission state + worker epochs
 ``GET /metrics``            Prometheus text exposition (PR-2 exporter)
+``GET /v1/debug``           recent slow queries + per-worker health
 ======================  ====================================================
 
 Every query answer carries ``"approximate"``: ``false`` on the exact
 path, ``true`` when admission control degraded the request to the §3.2
-category-only answer.  Shed requests get 429 (queue full) or 503
+category-only answer, and ``"request_id"`` — the identity assigned at
+ingress (or supplied by the client via ``X-Request-Id``), echoed in the
+``X-Request-Id`` response header next to a ``Server-Timing`` header
+whose ``queue``/``coalesce``/``execute``/``stitch`` durations partition
+the request's wall time.  Shed requests get 429 (queue full) or 503
 (overload / deadline) with a ``Retry-After`` header.
 """
 
@@ -50,6 +55,11 @@ from repro.serve.admission import AdmissionController, Rejected, deadline_scope
 from repro.serve.batching import BatchKey, Coalescer
 from repro.serve.config import ServeConfig
 from repro.serve.coordinator import UpdateCoordinator
+from repro.serve.telemetry import (
+    RequestContext,
+    SlowQueryLog,
+    TelemetryCollector,
+)
 
 logger = logging.getLogger("repro.serve")
 
@@ -161,6 +171,12 @@ class QueryServer:
             gate=self.coordinator.read,
             registry=registry,
         )
+        self.telemetry = TelemetryCollector(registry)
+        self.slow_log = SlowQueryLog(
+            self.config.slow_query_ms,
+            path=self.config.slow_query_log,
+            capacity=self.config.debug_ring,
+        )
         self._metric_requests = registry.counter("serve.requests")
         self._metric_errors = registry.counter("serve.errors")
         self._registry = registry
@@ -176,44 +192,102 @@ class QueryServer:
         self.port = self.config.port
 
     # -- batched dispatch ----------------------------------------------
-    def _dispatch_batch(self, key: BatchKey, nodes):
+    def _dispatch_batch(self, key: BatchKey, nodes, batch=None):
         """Fan one coalesced batch out to the engine.
 
         Single-process (the default): calls the vectorized batch entry
-        points inline and returns the list.  With a worker pool: submits
-        the batch to a worker process and returns the executor future —
-        the coalescer awaits it while still holding the coordinator's
-        read gate, so the ``(epoch, log)`` pair captured here stays
-        consistent until the answer lands.  With shard pools (a sharded
-        index behind ``workers == num_shards``): returns a coroutine the
-        coalescer awaits — nodes route to their owning shard's worker
-        for exact local rows, and the coordinator stitches + selects.
+        points inline and returns the list.  With a worker pool or shard
+        pools: returns a coroutine the coalescer awaits while still
+        holding the coordinator's read gate, so the ``(epoch, log)``
+        pair captured at dispatch stays consistent until the answer
+        lands.  ``batch`` (the coalescer's bucket, when provided) gets
+        execution telemetry attached — page counts, span trees, worker
+        identity — for the member requests' slow-query records.
         """
         if self._shard_pools is not None:
-            return self._dispatch_shard_batch(key, list(nodes))
+            return self._dispatch_shard_batch(key, list(nodes), batch)
         if self._pool is not None:
-            loop = asyncio.get_running_loop()
-            return loop.run_in_executor(
-                self._pool,
-                worker_mod.run_batch,
-                self.coordinator.epoch,
-                tuple(self.coordinator.update_log),
-                key.kind,
-                list(nodes),
-                key.params,
-            )
-        if key.kind == "range":
-            radius, with_distances = key.params
-            return self.index.range_query_batch(
-                nodes, radius, with_distances=with_distances
-            )
-        k, with_distances = key.params
-        knn_type = (
-            KnnType.EXACT_DISTANCES if with_distances else KnnType.SET
-        )
-        return self.index.knn_batch(nodes, k, knn_type=knn_type)
+            return self._dispatch_pool_batch(key, list(nodes), batch)
+        return self._execute_local_batch(key, nodes, batch)
 
-    async def _dispatch_shard_batch(self, key: BatchKey, nodes: list) -> list:
+    def _execute_local_batch(self, key: BatchKey, nodes, batch=None) -> list:
+        """Single-process execution with inline telemetry capture.
+
+        Tracing is scoped to the batch only when slow-query capture is
+        on; the page-counter snapshot pair is two integer reads, cheap
+        enough to take unconditionally.
+        """
+        index = self.index
+        snap = index.counter.snapshot()
+        trace_cm = (
+            index.trace()
+            if (batch is not None and self.slow_log.enabled)
+            else None
+        )
+        tracer = trace_cm.__enter__() if trace_cm is not None else None
+        try:
+            if key.kind == "range":
+                radius, with_distances = key.params
+                results = index.range_query_batch(
+                    nodes, radius, with_distances=with_distances
+                )
+            else:
+                k, with_distances = key.params
+                knn_type = (
+                    KnnType.EXACT_DISTANCES if with_distances else KnnType.SET
+                )
+                results = index.knn_batch(nodes, k, knn_type=knn_type)
+        finally:
+            if trace_cm is not None:
+                trace_cm.__exit__(None, None, None)
+        if batch is not None:
+            delta = index.counter.delta(snap)
+            batch.attach_execution(
+                pages_logical=delta.logical,
+                pages_physical=delta.physical,
+                spans=tracer.to_dicts() if tracer is not None else None,
+                worker_label="local",
+                epoch=self.coordinator.epoch,
+            )
+        return results
+
+    async def _dispatch_pool_batch(
+        self, key: BatchKey, nodes: list, batch=None
+    ) -> list:
+        """Flat-pool execution: one worker process answers the batch.
+
+        The worker returns ``(results, telemetry)``; the telemetry delta
+        folds into the server registry under the ``worker`` label —
+        additive across the pool, so summed worker counters equal the
+        single-process ground truth (per-process identity inside a
+        ``ProcessPoolExecutor`` is deliberately not exposed).
+        """
+        epoch = self.coordinator.epoch
+        loop = asyncio.get_running_loop()
+        results, telemetry = await loop.run_in_executor(
+            self._pool,
+            worker_mod.run_batch,
+            epoch,
+            tuple(self.coordinator.update_log),
+            key.kind,
+            nodes,
+            key.params,
+        )
+        self.telemetry.fold("worker", telemetry, coordinator_epoch=epoch)
+        if batch is not None:
+            pages = telemetry.get("pages", {})
+            batch.attach_execution(
+                pages_logical=pages.get("logical", 0),
+                pages_physical=pages.get("physical", 0),
+                spans=telemetry.get("spans"),
+                worker_label="worker",
+                epoch=telemetry.get("epoch"),
+            )
+        return results
+
+    async def _dispatch_shard_batch(
+        self, key: BatchKey, nodes: list, batch=None
+    ) -> list:
         """Shard-routed execution of one coalesced batch.
 
         Nodes are grouped by owning shard and each group goes to that
@@ -221,7 +295,9 @@ class QueryServer:
         rows at the batch's epoch.  Stitching across shards and result
         selection run here on the coordinator — identical math to
         :meth:`ShardedSignatureIndex._exact_row`, so answers are exactly
-        the monolithic ones.
+        the monolithic ones.  Each shard's telemetry payload folds into
+        the registry under ``shard{N}``, so ``/metrics`` breaks worker
+        cost down per shard.
         """
         from repro.core.builder import categorize_array
         from repro.shard.sharded import (
@@ -254,6 +330,10 @@ class QueryServer:
         if key.kind != "range" and index.knn_refine == "pruned":
             prune_k = key.params[0]
         shards_skipped = 0
+        pages_logical = pages_physical = 0
+        spans: list = []
+        labels: list[str] = []
+        worker_epoch: int | None = None
         stitched: dict[int, np.ndarray] = {}
         for shard_id, members in by_shard.items():
             future = futures.get(shard_id)
@@ -261,7 +341,20 @@ class QueryServer:
                 for node in members:
                     stitched[node] = np.full(len(index.dataset), np.inf)
                 continue
-            for node, row in zip(members, await future):
+            rows, telemetry = await future
+            label = f"shard{shard_id}"
+            self.telemetry.fold(label, telemetry, coordinator_epoch=epoch)
+            pages = telemetry.get("pages", {})
+            pages_logical += int(pages.get("logical", 0))
+            pages_physical += int(pages.get("physical", 0))
+            spans.extend(telemetry.get("spans") or ())
+            labels.append(label)
+            shard_epoch = telemetry.get("epoch")
+            if shard_epoch is not None and (
+                worker_epoch is None or shard_epoch < worker_epoch
+            ):
+                worker_epoch = shard_epoch
+            for node, row in zip(members, rows):
                 if prune_k is not None:
                     out, skipped = stitched_knn_row(
                         index, shard_id, row, prune_k
@@ -273,6 +366,14 @@ class QueryServer:
         if shards_skipped and self._registry.enabled:
             self._registry.counter("knn_refine.shards_skipped").inc(
                 shards_skipped
+            )
+        if batch is not None:
+            batch.attach_execution(
+                pages_logical=pages_logical,
+                pages_physical=pages_physical,
+                spans=spans or None,
+                worker_label="+".join(sorted(labels)) if labels else None,
+                epoch=worker_epoch,
             )
         results = []
         if key.kind == "range":
@@ -322,28 +423,36 @@ class QueryServer:
 
     # -- endpoint handlers ---------------------------------------------
     async def _serve_coalesced(
-        self, key: BatchKey, node: int, degradable_payload
+        self, key: BatchKey, node: int, degradable_payload, ctx=None
     ) -> tuple[int, dict]:
         """Admission → (degraded | coalesced exact) → response payload.
 
         ``degradable_payload()`` computes the category-only answer under
         the read lock when admission control asks for degraded service.
+        ``ctx`` (the request's :class:`RequestContext`) rides into the
+        coalescer so the batch records its membership and stage marks.
         """
         degraded = self.admission.admit(degradable=True)
         with self.admission.slot():
             if degraded:
+                if ctx is not None:
+                    ctx.mark_submit()
                 async with self.coordinator.read():
+                    if ctx is not None:
+                        ctx.mark_dispatch()
                     payload = degradable_payload()
+                if ctx is not None:
+                    ctx.mark_execute()
                 payload["approximate"] = True
                 return 200, payload
             try:
                 async with deadline_scope(self.config.deadline_ms / 1_000.0):
-                    result = await self.coalescer.submit(key, node)
+                    result = await self.coalescer.submit(key, node, ctx)
             except TimeoutError:
                 raise self.admission.timed_out() from None
             return 200, {"result": result, "approximate": False}
 
-    async def _handle_range(self, params: dict) -> tuple[int, dict]:
+    async def _handle_range(self, params: dict, ctx=None) -> tuple[int, dict]:
         node = self._check_node(_as_int(_require(params, "node"), "node"))
         radius = _as_float(_require(params, "radius"), "radius")
         with_distances = _as_bool(
@@ -356,6 +465,7 @@ class QueryServer:
             key,
             node,
             lambda: {"objects": self._approx_range(node, radius)},
+            ctx,
         )
         if "result" in payload:
             result = payload.pop("result")
@@ -365,7 +475,7 @@ class QueryServer:
         payload.update(node=node, radius=radius)
         return status, payload
 
-    async def _handle_knn(self, params: dict) -> tuple[int, dict]:
+    async def _handle_knn(self, params: dict, ctx=None) -> tuple[int, dict]:
         node = self._check_node(_as_int(_require(params, "node"), "node"))
         k = _as_int(_require(params, "k"), "k")
         with_distances = _as_bool(
@@ -378,6 +488,7 @@ class QueryServer:
             key,
             node,
             lambda: {"objects": self.index.knn_approximate(node, k)},
+            ctx,
         )
         if "result" in payload:
             result = payload.pop("result")
@@ -387,15 +498,23 @@ class QueryServer:
         payload.update(node=node, k=k)
         return status, payload
 
-    async def _handle_distance(self, params: dict) -> tuple[int, dict]:
+    async def _handle_distance(
+        self, params: dict, ctx=None
+    ) -> tuple[int, dict]:
         node = self._check_node(_as_int(_require(params, "node"), "node"))
         object_node = _as_int(_require(params, "object"), "object")
         self.admission.admit()
         with self.admission.slot():
+            if ctx is not None:
+                ctx.mark_submit()
             try:
                 async with deadline_scope(self.config.deadline_ms / 1_000.0):
                     async with self.coordinator.read():
+                        if ctx is not None:
+                            ctx.mark_dispatch()
                         distance = self.index.distance(node, object_node)
+                    if ctx is not None:
+                        ctx.mark_execute()
             except TimeoutError:
                 raise self.admission.timed_out() from None
         return 200, {
@@ -405,7 +524,9 @@ class QueryServer:
             "approximate": False,
         }
 
-    async def _handle_aggregate(self, params: dict) -> tuple[int, dict]:
+    async def _handle_aggregate(
+        self, params: dict, ctx=None
+    ) -> tuple[int, dict]:
         node = self._check_node(_as_int(_require(params, "node"), "node"))
         radius = _as_float(_require(params, "radius"), "radius")
         aggregate = str(params.get("aggregate", "count"))
@@ -413,12 +534,18 @@ class QueryServer:
             raise _BadRequest(f"radius must be >= 0, got {radius}")
         self.admission.admit()
         with self.admission.slot():
+            if ctx is not None:
+                ctx.mark_submit()
             try:
                 async with deadline_scope(self.config.deadline_ms / 1_000.0):
                     async with self.coordinator.read():
+                        if ctx is not None:
+                            ctx.mark_dispatch()
                         value = self.index.aggregate_range(
                             node, radius, aggregate
                         )
+                    if ctx is not None:
+                        ctx.mark_execute()
             except TimeoutError:
                 raise self.admission.timed_out() from None
         return 200, {
@@ -460,6 +587,11 @@ class QueryServer:
             "objects": len(self.index.dataset),
             "workers": self.config.workers,
             "shards": getattr(self.index, "num_shards", 1),
+            # §5.4 staleness at a glance: the coordinator's update epoch
+            # and, per worker label, the epoch each worker last replayed
+            # (populated lazily — a worker appears after its first batch).
+            "epoch": self.coordinator.epoch,
+            "epochs": dict(sorted(self.telemetry.epochs.items())),
             # Distance scale of the served index: remote clients (the
             # load generator in particular) need it to form radii that
             # land in a chosen category band.
@@ -469,9 +601,23 @@ class QueryServer:
         }
         return (503 if self._draining else 200), payload
 
+    def _handle_debug(self) -> tuple[int, dict]:
+        """Recent slow queries + per-worker health (``GET /v1/debug``)."""
+        epoch = self.coordinator.epoch
+        payload = {
+            "epoch": epoch,
+            "slow_query_threshold_ms": self.slow_log.threshold_ms,
+            "slow_queries_recorded": self.slow_log.recorded,
+            "slow_queries": self.slow_log.recent(),
+            "workers": self.telemetry.health(epoch),
+            "pending": self.admission.pending,
+            "coalescer_buffered": self.coalescer.pending,
+        }
+        return 200, payload
+
     # -- HTTP plumbing -------------------------------------------------
     async def _route(
-        self, method: str, path: str, params: dict
+        self, method: str, path: str, params: dict, ctx=None
     ) -> tuple[int, dict | str, str]:
         """Dispatch one parsed request; returns (status, body, content_type)."""
         self._metric_requests.inc()
@@ -481,6 +627,9 @@ class QueryServer:
                 return status, payload, "application/json"
             if path == "/metrics":
                 return 200, metrics_to_prometheus(self._registry), "text/plain"
+            if path == "/v1/debug":
+                status, payload = self._handle_debug()
+                return status, payload, "application/json"
             if self._draining:
                 return (
                     503,
@@ -488,13 +637,13 @@ class QueryServer:
                     "application/json",
                 )
             if path == "/v1/range":
-                status, payload = await self._handle_range(params)
+                status, payload = await self._handle_range(params, ctx)
             elif path == "/v1/knn":
-                status, payload = await self._handle_knn(params)
+                status, payload = await self._handle_knn(params, ctx)
             elif path == "/v1/distance":
-                status, payload = await self._handle_distance(params)
+                status, payload = await self._handle_distance(params, ctx)
             elif path == "/v1/aggregate":
-                status, payload = await self._handle_aggregate(params)
+                status, payload = await self._handle_aggregate(params, ctx)
             elif path == "/v1/edges":
                 if method != "POST":
                     return 405, {"error": "POST required"}, "application/json"
@@ -579,12 +728,18 @@ class QueryServer:
                 if request is None:
                     break
                 method, target, headers, body = request
+                ctx = RequestContext(
+                    target.partition("?")[0],
+                    request_id=headers.get("x-request-id") or None,
+                )
+                params: dict = {}
                 try:
                     path, params = self._parse_params(target, body)
+                    ctx.path = path
                     self._active_requests += 1
                     try:
                         status, payload, content_type = await self._route(
-                            method, path, params
+                            method, path, params, ctx
                         )
                     finally:
                         self._active_requests -= 1
@@ -594,13 +749,28 @@ class QueryServer:
                         {"error": str(exc)},
                         "application/json",
                     )
+                if isinstance(payload, dict):
+                    payload.setdefault("request_id", ctx.request_id)
                 close = (
                     headers.get("connection", "").lower() == "close"
                     or self._draining
                 )
+                ctx.mark_done()
                 await self._write_response(
-                    writer, status, payload, content_type, close=close
+                    writer,
+                    status,
+                    payload,
+                    content_type,
+                    close=close,
+                    extra_headers=(
+                        f"X-Request-Id: {ctx.request_id}\r\n"
+                        f"Server-Timing: {ctx.server_timing_header()}\r\n"
+                    ),
                 )
+                if ctx.path.startswith("/v1/"):
+                    self.slow_log.maybe_record(
+                        ctx, status=status, params=params
+                    )
                 if close:
                     break
         except (
@@ -644,6 +814,7 @@ class QueryServer:
         content_type: str,
         *,
         close: bool,
+        extra_headers: str = "",
     ) -> None:
         if isinstance(payload, str):
             body = payload.encode()
@@ -657,6 +828,7 @@ class QueryServer:
             + (
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra_headers}"
                 f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
             ).encode()
             + body
@@ -814,6 +986,7 @@ class QueryServer:
         if self._snapshot_tmp is not None:
             self._snapshot_tmp.cleanup()
             self._snapshot_tmp = None
+        self.slow_log.close()
         self._stopped.set()
         logger.info(
             "drained (%d requests abandoned)", max(self._active_requests, 0)

@@ -38,6 +38,8 @@ boundary overlay — advance the epoch without touching the shard.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.queries import KnnType
@@ -50,6 +52,26 @@ __all__ = [
     "warm_shard",
     "run_shard_rows",
 ]
+
+
+def _collect_telemetry(index, epoch: int, page_snap, busy_s: float, tracer):
+    """The per-batch telemetry payload returned alongside results.
+
+    The cross-process half of the PR-2 observability layer: the worker's
+    registry delta (:meth:`~repro.obs.metrics.MetricsRegistry.drain` —
+    exact, so coordinator-side merges sum to single-process ground
+    truth), the page-counter delta for this batch, the applied epoch
+    (the coordinator's staleness signal), worker-side execution time,
+    and the batch's compact span trees for slow-query capture.
+    """
+    delta = index.counter.delta(page_snap)
+    return {
+        "epoch": epoch,
+        "busy_s": busy_s,
+        "metrics": index.metrics.drain(),
+        "pages": {"logical": delta.logical, "physical": delta.physical},
+        "spans": tracer.to_dicts(),
+    }
 
 #: Process-global worker state: the mmapped index and the epoch of the
 #: last replayed update.  A pool initializer populates it once per
@@ -101,25 +123,38 @@ def _catch_up(index, epoch: int, log) -> None:
     _STATE["epoch"] = applied
 
 
-def run_batch(epoch: int, log, kind: str, nodes, params) -> list:
+def run_batch(epoch: int, log, kind: str, nodes, params) -> tuple:
     """Execute one coalesced batch at ``epoch`` in this worker process.
 
     Mirrors ``QueryServer._dispatch_batch``: ``kind`` is ``"range"``
     (params ``(radius, with_distances)``) or ``"knn"`` (params
-    ``(k, with_distances)``).
+    ``(k, with_distances)``).  Returns ``(results, telemetry)`` —
+    ``results`` aligned with ``nodes``, ``telemetry`` the payload of
+    :func:`_collect_telemetry` for coordinator-side folding.
     """
     index = _STATE["index"]
     if index is None:
         raise RuntimeError("worker not initialized (init_worker did not run)")
     _catch_up(index, epoch, log)
-    if kind == "range":
-        radius, with_distances = params
-        return index.range_query_batch(
-            nodes, radius, with_distances=with_distances
-        )
-    k, with_distances = params
-    knn_type = KnnType.EXACT_DISTANCES if with_distances else KnnType.SET
-    return index.knn_batch(nodes, k, knn_type=knn_type)
+    page_snap = index.counter.snapshot()
+    start = perf_counter()
+    with index.trace() as tracer:
+        if kind == "range":
+            radius, with_distances = params
+            results = index.range_query_batch(
+                nodes, radius, with_distances=with_distances
+            )
+        else:
+            k, with_distances = params
+            knn_type = (
+                KnnType.EXACT_DISTANCES if with_distances else KnnType.SET
+            )
+            results = index.knn_batch(nodes, k, knn_type=knn_type)
+    busy = perf_counter() - start
+    telemetry = _collect_telemetry(
+        index, _STATE["epoch"], page_snap, busy, tracer
+    )
+    return results, telemetry
 
 
 # ----------------------------------------------------------------------
@@ -200,13 +235,14 @@ def _catch_up_shard(worker, epoch: int, log) -> None:
     _SHARD_STATE["epoch"] = applied
 
 
-def run_shard_rows(epoch: int, log, local_nodes) -> list:
+def run_shard_rows(epoch: int, log, local_nodes) -> tuple:
     """Exact local distance columns for ``local_nodes`` at ``epoch``.
 
     Each returned row is the shard spanning-tree distance vector
     ``trees.distances[:, local]`` (pseudo-object order) — the input
     :func:`repro.shard.sharded.stitch_row` turns into the global answer
-    on the coordinator.
+    on the coordinator.  Returns ``(rows, telemetry)`` so the
+    coordinator can fold this shard's metric delta under its own label.
     """
     worker = _SHARD_STATE["worker"]
     if worker is None:
@@ -215,10 +251,19 @@ def run_shard_rows(epoch: int, log, local_nodes) -> list:
         )
     _catch_up_shard(worker, epoch, log)
     index = worker.index
-    rows = []
-    for local in local_nodes:
-        index.touch_signature(int(local))
-        rows.append(
-            np.array(index.trees.distances[:, int(local)], dtype=np.float64)
-        )
-    return rows
+    page_snap = index.counter.snapshot()
+    start = perf_counter()
+    with index.trace() as tracer:
+        rows = []
+        for local in local_nodes:
+            index.touch_signature(int(local))
+            rows.append(
+                np.array(
+                    index.trees.distances[:, int(local)], dtype=np.float64
+                )
+            )
+    busy = perf_counter() - start
+    telemetry = _collect_telemetry(
+        index, _SHARD_STATE["epoch"], page_snap, busy, tracer
+    )
+    return rows, telemetry

@@ -1,0 +1,517 @@
+"""Request identity, stage timing, slow queries, and worker telemetry.
+
+End-to-end checks of the observability layer: request ids round-trip
+through headers and payloads, the ``Server-Timing`` stage breakdown
+telescopes to the measured wall time, slow queries land in the debug
+ring (and the JSON-lines file), and worker-side page counters folded
+across process boundaries sum to exactly what a single process charges
+for the same queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.core import SignatureIndex, load_index
+from repro.network import random_planar_network, uniform_dataset
+from repro.obs.export import metrics_to_prometheus, parse_prometheus_text
+from repro.serve import (
+    LoadStats,
+    QueryServer,
+    RequestContext,
+    ServeClient,
+    ServeConfig,
+    SlowQueryLog,
+    TelemetryCollector,
+    new_request_id,
+    render_dashboard,
+)
+from repro.serve.top import TopSnapshot, discover_worker_labels
+from repro.shard import ShardedSignatureIndex
+
+QUERY_NODES = [0, 17, 42, 128, 250, 299]
+
+
+@contextlib.asynccontextmanager
+async def serving(index, **overrides):
+    config = ServeConfig(port=0).replace(**overrides)
+    server = QueryServer(index, config)
+    await server.start()
+    client = ServeClient(server.host, server.port)
+    try:
+        yield server, client
+    finally:
+        await client.close()
+        await server.shutdown()
+
+
+class TestRequestContext:
+    def test_stages_telescope_to_elapsed(self):
+        ctx = RequestContext("/v1/range")
+        ctx.mark_submit()
+        ctx.mark_dispatch()
+        ctx.mark_execute()
+        ctx.mark_done()
+        stages = ctx.stages()
+        assert set(stages) == {"queue", "coalesce", "execute", "stitch"}
+        assert sum(stages.values()) == pytest.approx(ctx.elapsed_s)
+
+    def test_missing_marks_collapse_not_break(self):
+        """A request shed in admission never reaches dispatch — the
+        telescoping-sum property must survive the partial lifecycle."""
+        ctx = RequestContext("/v1/range")
+        ctx.mark_submit()  # dies here
+        stages = ctx.stages()
+        assert stages["coalesce"] == 0.0
+        assert stages["execute"] == 0.0
+        assert sum(stages.values()) == pytest.approx(ctx.elapsed_s)
+
+    def test_marks_are_idempotent(self):
+        ctx = RequestContext("/v1/knn")
+        ctx.mark_submit()
+        first = ctx.t_submit
+        ctx.mark_submit()
+        assert ctx.t_submit == first
+
+    def test_client_id_wins_over_minted(self):
+        assert RequestContext("/", request_id="mine").request_id == "mine"
+        minted = RequestContext("/").request_id
+        assert minted and minted != "mine"
+
+    def test_ids_are_unique_and_ordered(self):
+        a, b = new_request_id(), new_request_id()
+        assert a != b
+        assert a.split("-")[0] == b.split("-")[0]  # same process prefix
+
+    def test_server_timing_header_sums_to_total(self):
+        ctx = RequestContext("/v1/range")
+        ctx.mark_submit()
+        ctx.mark_dispatch()
+        ctx.mark_execute()
+        header = ctx.server_timing_header()
+        durations = {}
+        for part in header.split(","):
+            name, _, duration = part.strip().partition(";dur=")
+            durations[name] = float(duration)
+        stage_sum = sum(
+            v for k, v in durations.items() if k != "total"
+        )
+        # Printed at 3 decimals; 4 stages → ≤2µs rounding slack.
+        assert stage_sum == pytest.approx(durations["total"], abs=0.002)
+
+
+class TestSlowQueryLog:
+    def test_threshold_gates_capture(self):
+        log = SlowQueryLog(threshold_ms=10_000.0)
+        ctx = RequestContext("/v1/range")
+        assert log.maybe_record(ctx, status=200) is None
+        assert log.recent() == []
+
+    def test_disabled_when_threshold_nonpositive(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        assert not log.enabled
+        assert log.maybe_record(RequestContext("/"), status=200) is None
+
+    def test_ring_bounded_and_file_sink(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(threshold_ms=1e-6, path=str(path), capacity=3)
+        for i in range(5):
+            ctx = RequestContext("/v1/range", request_id=f"r{i}")
+            ctx.attach_batch(2, [f"r{i}", "other"])
+            log.maybe_record(ctx, status=200, params={"node": i})
+        log.close()
+        assert log.recorded == 5
+        ring = log.recent()
+        assert [r["request_id"] for r in ring] == ["r2", "r3", "r4"]
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 5  # the file keeps everything the ring drops
+        record = lines[0]
+        assert record["request_id"] == "r0"
+        assert record["path"] == "/v1/range"
+        assert record["params"] == {"node": 0}
+        assert record["batch"]["size"] == 2
+        assert set(record["stages_ms"]) == {
+            "queue",
+            "coalesce",
+            "execute",
+            "stitch",
+        }
+
+    def test_unwritable_file_disables_sink_not_requests(self, tmp_path):
+        log = SlowQueryLog(
+            threshold_ms=1e-6, path=str(tmp_path / "no" / "dir" / "x.jsonl")
+        )
+        record = log.maybe_record(RequestContext("/v1/knn"), status=200)
+        assert record is not None  # the ring still captured it
+        assert log.path is None  # the sink turned itself off
+
+
+class TestTelemetryCollector:
+    def _payload(self, *, epoch=3, logical=10, physical=4, busy=0.5):
+        return {
+            "epoch": epoch,
+            "busy_s": busy,
+            "metrics": {"version": 1, "counters": {"knn.pruned": 2}},
+            "pages": {"logical": logical, "physical": physical},
+            "spans": [],
+        }
+
+    def test_fold_labels_and_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry)
+        collector.fold("shard1", self._payload(), coordinator_epoch=5)
+        counters = registry.snapshot()["counters"]
+        assert counters["pages.logical.shard1"] == 10
+        assert counters["pages.physical.shard1"] == 4
+        assert counters["knn.pruned.shard1"] == 2
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["serve.worker_epoch.shard1"] == 3
+        assert gauges["serve.epoch_lag.shard1"] == 2
+        assert collector.epochs == {"shard1": 3}
+        assert collector.epoch_lag(5) == {"shard1": 2}
+
+    def test_fold_accumulates_and_health(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry)
+        collector.fold("worker", self._payload(logical=7))
+        collector.fold("worker", self._payload(logical=5, epoch=4))
+        counters = registry.snapshot()["counters"]
+        assert counters["pages.logical.worker"] == 12
+        health = collector.health(4)
+        assert health["worker"]["batches"] == 2
+        assert health["worker"]["epoch"] == 4
+        assert health["worker"]["epoch_lag"] == 0
+        assert 0.0 <= health["worker"]["utilization"] <= 1.0
+
+    def test_empty_and_none_payloads_ignored(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry)
+        collector.fold("worker", None)
+        collector.fold("worker", {})
+        assert registry.snapshot()["counters"] == {}
+        assert collector.epochs == {}
+
+
+class TestRequestIdEndToEnd:
+    def test_server_mints_header_and_payload(self, sig_index):
+        async def main():
+            async with serving(sig_index) as (server, client):
+                response = await client.range(0, 60.0)
+                assert response.status == 200
+                assert response.request_id
+                assert response.payload["request_id"] == response.request_id
+
+        asyncio.run(main())
+
+    def test_client_supplied_id_round_trips(self, sig_index):
+        async def main():
+            async with serving(sig_index) as (server, client):
+                response = await client.request(
+                    "POST",
+                    "/v1/knn",
+                    {"node": 5, "k": 3},
+                    request_id="trace-me-7",
+                )
+                assert response.status == 200
+                assert response.request_id == "trace-me-7"
+                assert response.payload["request_id"] == "trace-me-7"
+
+        asyncio.run(main())
+
+    def test_server_timing_telescopes_and_bounds_client(self, sig_index):
+        from time import perf_counter
+
+        async def main():
+            async with serving(sig_index) as (server, client):
+                start = perf_counter()
+                response = await client.range(17, 80.0)
+                client_ms = (perf_counter() - start) * 1e3
+                timing = response.server_timing()
+                assert set(timing) >= {
+                    "queue",
+                    "coalesce",
+                    "execute",
+                    "stitch",
+                    "total",
+                }
+                stage_sum = sum(
+                    v for k, v in timing.items() if k != "total"
+                )
+                assert stage_sum == pytest.approx(
+                    timing["total"], abs=0.002 * 4
+                )
+                # Server wall time is inside the client's measurement.
+                assert timing["total"] <= client_ms
+
+        asyncio.run(main())
+
+    def test_errors_still_carry_request_id(self, sig_index):
+        async def main():
+            async with serving(sig_index) as (server, client):
+                response = await client.request(
+                    "POST", "/v1/range", {"node": -1, "radius": 10.0}
+                )
+                assert response.status == 400
+                assert response.request_id
+
+        asyncio.run(main())
+
+
+class TestDebugSurfaces:
+    def test_slow_log_ring_and_debug_endpoint(self, sig_index, tmp_path):
+        path = tmp_path / "slow.jsonl"
+
+        async def main():
+            # Threshold ~0: every request is "slow", so the ring fills.
+            async with serving(
+                sig_index, slow_query_ms=1e-6, slow_query_log=str(path)
+            ) as (server, client):
+                response = await client.range(
+                    42, 70.0
+                )
+                debug = await client.request("GET", "/v1/debug")
+                assert debug.status == 200
+                payload = debug.payload
+                assert payload["slow_query_threshold_ms"] == 1e-6
+                assert payload["slow_queries_recorded"] >= 1
+                ids = [
+                    r["request_id"] for r in payload["slow_queries"]
+                ]
+                assert response.request_id in ids
+                record = next(
+                    r
+                    for r in payload["slow_queries"]
+                    if r["request_id"] == response.request_id
+                )
+                assert record["path"] == "/v1/range"
+                assert record["status"] == 200
+                assert record["batch"]["pages_logical"] >= 0
+                assert record["worker"] == "local"
+
+        asyncio.run(main())
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines and all("request_id" in r for r in lines)
+
+    def test_healthz_reports_epoch_and_worker_epochs(self, sig_index):
+        async def main():
+            async with serving(sig_index) as (server, client):
+                health = await client.healthz()
+                assert health.payload["epoch"] == 0
+                assert health.payload["epochs"] == {}
+
+        asyncio.run(main())
+
+
+def _build_sharded():
+    network = random_planar_network(300, seed=42)
+    dataset = uniform_dataset(network, density=0.04, seed=7)
+    sharded = ShardedSignatureIndex.build(
+        network, dataset, num_shards=4, backend="scipy"
+    )
+    return sharded
+
+
+class TestCrossProcessExactness:
+    """The acceptance bar: worker counters folded across process
+    boundaries must sum to exactly the single-process ground truth."""
+
+    def test_flat_pool_pages_equal_single_process(self, sig_index, tmp_path):
+        """Sequential range queries through 2 workers: the summed
+        ``pages.logical.worker`` counter equals a single process running
+        the same batches over the same snapshot."""
+        snapshot = tmp_path / "snap"
+        radius = 70.0
+
+        async def main():
+            async with serving(
+                sig_index, workers=2, snapshot_dir=str(snapshot)
+            ) as (server, client):
+                for node in QUERY_NODES:
+                    response = await client.range(node, radius)
+                    assert response.status == 200
+                counters = server._registry.snapshot()["counters"]
+                return counters
+
+        counters = asyncio.run(main())
+        served_pages = counters.get("pages.logical.worker", 0)
+        assert served_pages > 0
+
+        ground = load_index(str(snapshot))
+        before = ground.counter.snapshot()
+        for node in QUERY_NODES:
+            ground.range_query_batch([node], radius)
+        expected = ground.counter.delta(before).logical
+        assert served_pages == expected
+
+    def test_shard_pools_pages_sum_to_single_process(self):
+        """Range queries through 4 shard pools: per-shard logical page
+        counters sum to the pages one process charges answering the same
+        per-node batches on an identical sharded index."""
+        sharded = _build_sharded()
+        radius = 60.0
+
+        async def main():
+            async with serving(sharded, workers=4) as (server, client):
+                for node in QUERY_NODES:
+                    response = await client.range(node, radius)
+                    assert response.status == 200
+                health = await client.healthz()
+                counters = server._registry.snapshot()["counters"]
+                return counters, health.payload
+
+        counters, health = asyncio.run(main())
+        shard_pages = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("pages.logical.shard")
+        }
+        assert shard_pages, "no shard-labelled page counters were folded"
+        # Worker epochs surfaced on /healthz for every shard that saw
+        # traffic, all caught up to the coordinator.
+        assert health["epochs"]
+        assert all(epoch == 0 for epoch in health["epochs"].values())
+
+        # Ground truth: the same queries on an identical in-process
+        # index charge each shard's own page counter (the same counter
+        # the worker snapshot/delta protocol reads).
+        ground = _build_sharded()
+        before = {
+            shard.shard_id: shard.index.counter.snapshot()
+            for shard in ground.shards
+            if shard.index is not None
+        }
+        for node in QUERY_NODES:
+            ground.range_query_batch([node], radius)
+        expected = {
+            f"pages.logical.shard{shard.shard_id}": (
+                shard.index.counter.delta(before[shard.shard_id]).logical
+            )
+            for shard in ground.shards
+            if shard.index is not None
+            and shard.index.counter.delta(before[shard.shard_id]).logical
+        }
+        assert shard_pages == expected
+
+
+class TestClientAndLoadStats:
+    def test_client_latency_histogram_records(self, sig_index):
+        async def main():
+            async with serving(sig_index) as (server, client):
+                for node in QUERY_NODES[:3]:
+                    await client.range(node, 50.0)
+                assert client.latency.count == 3
+                assert client.latency.p50 > 0.0
+
+        asyncio.run(main())
+
+    def test_loadstats_merge_sums_and_merges_latency(self):
+        a, b = LoadStats(), LoadStats()
+        a.sent, a.ok, a.shed = 10, 8, 2
+        b.sent, b.ok, b.errors = 5, 4, 1
+        a.status_counts[200] = 8
+        b.status_counts[200] = 4
+        b.status_counts[429] = 1
+        for value in (0.01, 0.02, 0.03):
+            a.latency.observe(value)
+        for value in (0.04, 0.05):
+            b.latency.observe(value)
+        a.merge(b)
+        assert (a.sent, a.ok, a.shed, a.errors) == (15, 12, 2, 1)
+        assert a.status_counts == {200: 12, 429: 1}
+        assert a.latency.count == 5
+        assert a.latency.total == pytest.approx(0.15)
+
+
+class TestTopDashboard:
+    def _exposition(self, **counters):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name.replace("__", ".")).inc(value)
+        return metrics_to_prometheus(registry)
+
+    def test_parse_round_trips_labelled_counters(self):
+        text = self._exposition(
+            serve__requests=12, pages__logical__shard0=34
+        )
+        samples = parse_prometheus_text(text)
+        assert samples["repro_serve_requests_total"] == 12
+        assert samples["repro_pages_logical_shard0_total"] == 34
+
+    def test_discover_worker_labels(self):
+        samples = {
+            "repro_pages_logical_shard0_total": 1.0,
+            "repro_pages_logical_worker_total": 2.0,
+            "repro_serve_worker_epoch_shard2": 3.0,
+            "repro_pages_logical_total": 9.0,  # unlabelled: not a worker
+        }
+        assert discover_worker_labels(samples) == [
+            "shard0",
+            "shard2",
+            "worker",
+        ]
+
+    def test_render_dashboard_rates_and_worker_rows(self):
+        first = TopSnapshot(
+            {
+                "repro_serve_requests_total": 100.0,
+                "repro_pages_logical_shard0_total": 50.0,
+                "repro_serve_worker_epoch_shard0": 2.0,
+                "repro_serve_epoch_lag_shard0": 1.0,
+            },
+            taken_at=10.0,
+        )
+        second = TopSnapshot(
+            {
+                "repro_serve_requests_total": 150.0,
+                "repro_pages_logical_shard0_total": 90.0,
+                "repro_serve_worker_epoch_shard0": 2.0,
+                "repro_serve_epoch_lag_shard0": 1.0,
+            },
+            taken_at=12.0,
+        )
+        frame = render_dashboard(second, first, target="unit:0")
+        assert "unit:0" in frame
+        assert "requests/s      25.0" in frame
+        assert "shard0" in frame
+        assert "20.0" in frame  # pages/s for shard0
+
+    def test_first_frame_has_zero_rates(self):
+        frame = render_dashboard(
+            TopSnapshot({"repro_serve_requests_total": 5.0}), None
+        )
+        assert "requests/s       0.0" in frame
+
+    def test_live_scrape_renders(self, sig_index):
+        """One real scrape through ServeClient: the exposition parses
+        and renders without a second snapshot."""
+
+        async def main():
+            async with serving(sig_index) as (server, client):
+                await client.range(0, 40.0)
+                text = await client.metrics_text()
+                samples = parse_prometheus_text(text)
+                assert samples["repro_serve_requests_total"] >= 1
+                frame = render_dashboard(TopSnapshot(samples), None)
+                assert "requests/s" in frame
+
+        asyncio.run(main())

@@ -59,23 +59,27 @@ class TestWorkerModule:
         worker_mod.init_worker(str(tmp_path / "snap"))
         try:
             assert worker_mod.warm() == 0
-            got = worker_mod.run_batch(
+            got, telemetry = worker_mod.run_batch(
                 0, (), "range", QUERY_NODES, (30.0, False)
             )
             assert got == index.range_query_batch(QUERY_NODES, 30.0)
+            assert telemetry["epoch"] == 0
+            assert telemetry["pages"]["logical"] > 0
+            assert telemetry["metrics"]["counters"]
 
             # An epoch the log can satisfy: replay then answer.
             v, w = index.network.neighbors(0)[0]
             index.set_edge_weight(0, v, w * 3.0)
             log = ((1, "set_weight", 0, v, w * 3.0),)
-            got = worker_mod.run_batch(
+            got, telemetry = worker_mod.run_batch(
                 1, log, "range", QUERY_NODES, (30.0, False)
             )
             assert got == index.range_query_batch(QUERY_NODES, 30.0)
             assert worker_mod._STATE["epoch"] == 1
+            assert telemetry["epoch"] == 1
 
             # Replay is idempotent: already-applied entries are skipped.
-            got = worker_mod.run_batch(
+            got, _ = worker_mod.run_batch(
                 1, log, "knn", QUERY_NODES, (3, False)
             )
             assert got == index.knn_batch(QUERY_NODES, 3)

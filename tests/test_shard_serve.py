@@ -69,7 +69,10 @@ class TestShardWorkerModule:
             assert worker_mod.warm_shard() == 0
             worker = worker_mod._SHARD_STATE["worker"]
             locals_ = [0, 1, int(shard.global_nodes.size - 1)]
-            rows = worker_mod.run_shard_rows(0, (), locals_)
+            rows, telemetry = worker_mod.run_shard_rows(0, (), locals_)
+            assert telemetry["epoch"] == 0
+            assert telemetry["busy_s"] >= 0.0
+            assert telemetry["pages"]["logical"] >= len(locals_)
             for local, row in zip(locals_, rows):
                 assert np.array_equal(
                     row, shard.index.trees.distances[:, local]
@@ -95,8 +98,11 @@ class TestShardWorkerModule:
             sharded.set_edge_weight(cut.u, cut.v, cut.weight * 2.0)
             log.append((2, "set_weight", cut.u, cut.v, cut.weight * 2.0))
 
-            rows = worker_mod.run_shard_rows(2, tuple(log), locals_)
+            rows, telemetry = worker_mod.run_shard_rows(
+                2, tuple(log), locals_
+            )
             assert worker_mod._SHARD_STATE["epoch"] == 2
+            assert telemetry["epoch"] == 2
             for local, row in zip(locals_, rows):
                 assert np.array_equal(
                     row, shard.index.trees.distances[:, local]
