@@ -118,6 +118,21 @@ METRIC_SPECS: dict[str, dict[str, dict[str, tuple[str, ...]]]] = {
             "boundary_fraction": ("partition_quality", "boundary_fraction"),
         },
     },
+    "backends": {
+        "ratio": {
+            "hub_vs_signature_distance": (
+                "speedups", "hub_vs_signature_distance",
+            ),
+            "hub_vs_ch_distance": ("speedups", "hub_vs_ch_distance"),
+        },
+        "qps": {
+            "signature_distance_qps": (
+                "backends", "signature", "distance_qps",
+            ),
+            "ch_distance_qps": ("backends", "ch", "distance_qps"),
+            "hub_distance_qps": ("backends", "hub", "distance_qps"),
+        },
+    },
 }
 
 #: Regression direction per kind: pages regress *up*, rates regress

@@ -9,6 +9,10 @@ Scale knobs (environment variables):
   k=50 sweep is meaningful).
 * ``REPRO_BENCH_QUERIES`` — queries per workload (default 100; the paper
   used 500–1000).
+* ``REPRO_BENCH_BACKEND_NODES`` / ``REPRO_BENCH_BACKEND_PAIRS`` —
+  network size and sampled query pairs for the index-family
+  head-to-head (``bench_backends.py``; defaults 6000/1200, ``--quick``
+  800/300).
 
 Every bench writes its paper-style table to ``benchmarks/results/`` and
 prints it, so the regenerated figures survive pytest's output capture.

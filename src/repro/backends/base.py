@@ -1,0 +1,569 @@
+"""Shared machinery of the point-to-point backends (CH and hub labels).
+
+Both backends in this package answer ``distance()`` from a contraction
+hierarchy (directly, or through labels distilled from it) rather than
+from per-object signatures.  What they share — and what this module
+holds — is everything *around* that primitive:
+
+* **Object-bucket lists on hubs.**  Range and kNN need one-to-many
+  answers.  Instead of probing every object, each backend precomputes,
+  per hub node ``h``, the list of ``(distance, object rank)`` entries of
+  objects whose label (or CH search space) contains ``h`` — sorted by
+  distance and stored as one contiguous CSR (``bucket_indptr`` /
+  ``bucket_ranks`` / ``bucket_dists``).  A query then joins its own
+  forward entries against those lists: scanning each touched bucket in
+  ascending distance with an early cut answers range queries, and a
+  k-way lazy merge over the same lists pops candidate ``(d_qh + d_ho)``
+  sums in globally ascending order — the first time an object surfaces,
+  its sum is its *exact* distance (the minimizing meeting hub is popped
+  first), so the first k distinct objects are the exact kNN.
+* **The full :class:`~repro.core.interface.DistanceIndex` surface** with
+  the same validation the signature index pins: batch inputs through
+  :func:`~repro.core.index._coerce_batch_nodes`, radii/k through the
+  same coercions, empty-dataset kNN raising the identical
+  :class:`~repro.errors.QueryError`.  Ties are resolved by
+  ``(distance, dataset rank)`` — the ordering the monolith's
+  ``EXACT_DISTANCES`` results pin.
+* **§5.4 updates as documented rebuild-on-update.**  Edge mutations
+  apply to the network and rebuild the backend's structures wholesale
+  (hierarchy preprocessing is not incremental here); the returned
+  :class:`~repro.core.update.UpdateReport` honestly marks every object
+  affected and every node touched.  The serving tier's epoch machinery
+  (:mod:`repro.serve.coordinator`) drives these methods unchanged, so
+  acknowledged updates are never stale — they are just more expensive
+  than the signature index's incremental path.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.core import update
+from repro.core.categories import CategoryPartition, optimal_partition
+from repro.core.index import _coerce_batch_nodes, _coerce_k, _coerce_radius
+from repro.core.queries import _AGGREGATES, KnnType
+from repro.core.signature import ObjectDistanceTable
+from repro.errors import IndexError_, QueryError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer, span_of
+from repro.storage.pager import PageAccessCounter
+
+__all__ = [
+    "BucketLists",
+    "HierarchyIndexBase",
+    "label_join",
+    "pairwise_label_distances",
+]
+
+
+def label_join(
+    hubs_a: np.ndarray,
+    dists_a: np.ndarray,
+    hubs_b: np.ndarray,
+    dists_b: np.ndarray,
+) -> float:
+    """Exact distance from two hub labels: sorted-merge intersection.
+
+    Both label halves are sorted by hub id; the shared hubs are found in
+    one :func:`np.intersect1d` pass and the answer is the minimum summed
+    distance over them (``inf`` when the labels share no hub — the
+    endpoints are disconnected).
+    """
+    if len(hubs_a) == 0 or len(hubs_b) == 0:
+        return math.inf
+    common, idx_a, idx_b = np.intersect1d(
+        hubs_a, hubs_b, assume_unique=True, return_indices=True
+    )
+    if len(common) == 0:
+        return math.inf
+    return float(np.min(dists_a[idx_a] + dists_b[idx_b]))
+
+
+def pairwise_label_distances(
+    entries: list[tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """The ``(D, D)`` exact object-to-object distance matrix from labels."""
+    d = len(entries)
+    out = np.zeros((d, d), dtype=np.float64)
+    for i in range(d):
+        hubs_i, dists_i = entries[i]
+        for j in range(i + 1, d):
+            hubs_j, dists_j = entries[j]
+            out[i, j] = out[j, i] = label_join(
+                hubs_i, dists_i, hubs_j, dists_j
+            )
+    return out
+
+
+class BucketLists:
+    """Per-hub object lists as one CSR, sorted by distance within a hub.
+
+    ``entries(h)`` answers the ``(ranks, dists)`` slice for hub ``h``.
+    Entries come from each object's label (hub backend) or stalled CH
+    search space (CH backend); either way the minimum of
+    ``d_query(h) + dists`` over every hub the query's forward entries
+    share with an object is that object's exact distance.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        ranks: np.ndarray,
+        dists: np.ndarray,
+    ) -> None:
+        self.indptr = indptr
+        self.ranks = ranks
+        self.dists = dists
+
+    @classmethod
+    def build(
+        cls,
+        num_nodes: int,
+        object_entries: list[tuple[np.ndarray, np.ndarray]],
+    ) -> "BucketLists":
+        """Invert per-object ``(hubs, dists)`` arrays into per-hub lists."""
+        if object_entries:
+            hubs = np.concatenate([nodes for nodes, _ in object_entries])
+            dists = np.concatenate([d for _, d in object_entries])
+            ranks = np.concatenate(
+                [
+                    np.full(len(nodes), rank, dtype=np.int32)
+                    for rank, (nodes, _) in enumerate(object_entries)
+                ]
+            )
+        else:
+            hubs = np.zeros(0, dtype=np.int32)
+            dists = np.zeros(0, dtype=np.float64)
+            ranks = np.zeros(0, dtype=np.int32)
+        # Primary key hub, secondary distance, tertiary rank: each hub's
+        # slice comes out distance-sorted with deterministic tie order.
+        order = np.lexsort((ranks, dists, hubs))
+        hubs = hubs[order]
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        counts = np.bincount(hubs, minlength=num_nodes)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, ranks[order].astype(np.int32), dists[order])
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.ranks)
+
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.ranks.nbytes + self.dists.nbytes
+
+
+class HierarchyIndexBase:
+    """Common :class:`DistanceIndex` implementation of the CH/hub backends.
+
+    Subclasses provide:
+
+    * :attr:`backend_name` — the registry name (``"ch"`` / ``"hub"``);
+    * ``_forward_entries(node) -> (hubs, dists)`` — the query-side label;
+    * ``_point_distance(node, target) -> float`` — exact point-to-point;
+    * ``_rebuild()`` — reconstruct every derived structure from
+      ``self.network`` (the §5.4 rebuild-on-update path);
+    * ``_bind_backend_metrics(registry)`` — rebind backend instruments;
+    * ``_structure_bytes()`` — backend array footprint for stats.
+    """
+
+    backend_name = "hierarchy"
+
+    def __init__(
+        self,
+        network,
+        dataset,
+        partition: CategoryPartition,
+        object_table: ObjectDistanceTable,
+        buckets: BucketLists,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.network = network
+        self.dataset = dataset
+        self.partition = partition
+        self.object_table = object_table
+        self.buckets = buckets
+        # Backends are array-resident, not page-simulated: the counter
+        # exists for surface compatibility (serving telemetry, CLI
+        # reporting) and stays at zero.
+        self.counter = PageAccessCounter()
+        self.buffer_pool = None
+        self.tracer: Tracer | None = None
+        self.build_trace: Tracer | None = None
+        self.use_metrics(metrics if metrics is not None else MetricsRegistry())
+
+    # ------------------------------------------------------------------
+    # shared build helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _derive_partition(object_distances: np.ndarray) -> CategoryPartition:
+        """A partition scaled to the dataset's distance spread.
+
+        Backends need no categories to answer queries (they hold exact
+        distances); the partition exists for surface parity — serving
+        clients read its boundaries to form workload radii.  The scale
+        comes from the largest finite object-to-object distance.
+        """
+        finite = object_distances[np.isfinite(object_distances)]
+        spread = float(finite.max()) if finite.size else 0.0
+        if spread <= 0.0:
+            return CategoryPartition([])
+        return optimal_partition(spread)
+
+    # ------------------------------------------------------------------
+    # observability (mirrors SignatureIndex)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def trace(self):
+        """Record a span tree for everything run inside the block."""
+        tracer = Tracer(self.counter)
+        previous = self.tracer
+        self.tracer = tracer
+        try:
+            yield tracer
+        finally:
+            self.tracer = previous
+
+    def use_metrics(self, registry: MetricsRegistry) -> None:
+        """Swap the metrics registry and rebind cached instruments."""
+        self.metrics = registry
+        self._bind_backend_metrics(registry)
+
+    def _bind_backend_metrics(self, registry: MetricsRegistry) -> None:
+        raise NotImplementedError
+
+    @contextmanager
+    def _observed(self, kind: str, *, count: int, attrs: dict):
+        start = time.perf_counter()
+        with span_of(self, kind, **attrs) as span:
+            yield span
+            elapsed = time.perf_counter() - start
+        metrics = self.metrics
+        metrics.counter(f"{kind}.count").inc(count)
+        if count > 0:
+            metrics.histogram(f"{kind}.seconds").observe(elapsed / count)
+
+    def _scope(self, kind: str, *, count: int = 1, **attrs):
+        if self.tracer is None and not self.metrics.enabled:
+            return _NULL_SCOPE
+        return self._observed(kind, count=count, attrs=attrs)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self.network.num_nodes:
+            raise QueryError(
+                f"node {node} does not exist "
+                f"(network has {self.network.num_nodes} nodes)"
+            )
+        return node
+
+    def _require_objects(self) -> None:
+        # Same message (and QueryError/ValueError typing) as
+        # repro.core.queries._require_objects, so HTTP 400 mapping and
+        # caller handling are backend-agnostic.
+        if len(self.dataset) == 0:
+            raise QueryError("kNN query requires a non-empty object dataset")
+
+    # ------------------------------------------------------------------
+    # bucket query core
+    # ------------------------------------------------------------------
+    def _range_row(
+        self, fwd_hubs: np.ndarray, fwd_dists: np.ndarray, radius: float
+    ) -> np.ndarray:
+        """Best candidate sum per object rank, scanning only entries
+        whose sum can land within ``radius`` (``inf`` elsewhere).
+
+        For every object whose true distance is within ``radius`` the
+        minimizing hub pair sums to that distance and survives the cut,
+        so qualifying entries of the returned row are *exact*.
+        """
+        best = np.full(len(self.dataset), math.inf)
+        indptr, ranks, dists = (
+            self.buckets.indptr, self.buckets.ranks, self.buckets.dists,
+        )
+        for i in range(len(fwd_hubs)):
+            hub = int(fwd_hubs[i])
+            lo, hi = int(indptr[hub]), int(indptr[hub + 1])
+            if lo == hi:
+                continue
+            reach = radius - float(fwd_dists[i])
+            if reach < 0:
+                continue
+            cut = lo + int(
+                np.searchsorted(dists[lo:hi], reach, side="right")
+            )
+            if cut > lo:
+                np.minimum.at(
+                    best, ranks[lo:cut], fwd_dists[i] + dists[lo:cut]
+                )
+        return best
+
+    def _knn_pairs(
+        self, fwd_hubs: np.ndarray, fwd_dists: np.ndarray, k: int
+    ) -> list[tuple[int, float]]:
+        """The k nearest ``(rank, distance)`` pairs, ascending.
+
+        Lazy k-way merge over the touched buckets: candidates pop in
+        globally ascending ``(sum, rank)`` order, the first pop of each
+        rank carries its exact distance, and ties at the k-th distance
+        resolve to the lowest dataset rank.
+        """
+        indptr, ranks, dists = (
+            self.buckets.indptr, self.buckets.ranks, self.buckets.dists,
+        )
+        heap: list[tuple[float, int, int, int]] = []
+        ends: list[int] = []
+        for i in range(len(fwd_hubs)):
+            hub = int(fwd_hubs[i])
+            lo, hi = int(indptr[hub]), int(indptr[hub + 1])
+            ends.append(hi)
+            if lo < hi:
+                heappush(
+                    heap,
+                    (
+                        float(fwd_dists[i] + dists[lo]),
+                        int(ranks[lo]),
+                        i,
+                        lo,
+                    ),
+                )
+        seen: set[int] = set()
+        out: list[tuple[int, float]] = []
+        while heap and len(out) < k:
+            total, rank, i, pos = heappop(heap)
+            if rank not in seen:
+                seen.add(rank)
+                out.append((rank, total))
+            pos += 1
+            if pos < ends[i]:
+                heappush(
+                    heap,
+                    (
+                        float(fwd_dists[i] + dists[pos]),
+                        int(ranks[pos]),
+                        i,
+                        pos,
+                    ),
+                )
+        return out
+
+    def _knn_result(self, pairs: list[tuple[int, float]], knn_type: KnnType):
+        if knn_type is KnnType.EXACT_DISTANCES:
+            return [(self.dataset[rank], d) for rank, d in pairs]
+        return [self.dataset[rank] for rank, _ in pairs]
+
+    # ------------------------------------------------------------------
+    # queries (§4 surface)
+    # ------------------------------------------------------------------
+    def distance(self, node: int, object_node: int) -> float:
+        """Exact network distance from ``node`` to the object at
+        ``object_node``."""
+        self.dataset.rank(object_node)  # same not-an-object error surface
+        node = self._check_node(node)
+        with self._scope("query.distance", node=node):
+            return self._point_distance(node, int(object_node))
+
+    def range_query(
+        self, node: int, radius: float, *, with_distances: bool = False
+    ):
+        """Objects within ``radius`` of ``node``, in dataset order."""
+        node = self._check_node(node)
+        radius = _coerce_radius(radius)
+        with self._scope("query.range", node=node, radius=radius) as span:
+            fwd_hubs, fwd_dists = self._forward_entries(node)
+            best = self._range_row(fwd_hubs, fwd_dists, radius)
+            hits = np.nonzero(best <= radius)[0]
+            span.set("results", len(hits))
+        if with_distances:
+            return [
+                (self.dataset[int(rank)], float(best[rank])) for rank in hits
+            ]
+        return [self.dataset[int(rank)] for rank in hits]
+
+    def range_query_batch(
+        self, nodes, radius: float, *, with_distances: bool = False
+    ):
+        """One range query per node, results aligned with ``nodes``."""
+        nodes = _coerce_batch_nodes(nodes)
+        radius = _coerce_radius(radius)
+        with self._scope(
+            "query.range_batch", count=len(nodes), radius=radius
+        ):
+            return [
+                self.range_query(node, radius, with_distances=with_distances)
+                for node in nodes
+            ]
+
+    def knn(self, node: int, k: int, *, knn_type: KnnType = KnnType.SET):
+        """The k nearest objects to ``node``; ties break by dataset rank."""
+        node = self._check_node(node)
+        k = _coerce_k(k)
+        self._require_objects()
+        with self._scope(
+            "query.knn", node=node, k=k, knn_type=knn_type.name
+        ) as span:
+            fwd_hubs, fwd_dists = self._forward_entries(node)
+            pairs = self._knn_pairs(fwd_hubs, fwd_dists, k)
+            span.set("results", len(pairs))
+        return self._knn_result(pairs, knn_type)
+
+    def knn_batch(self, nodes, k: int, *, knn_type: KnnType = KnnType.SET):
+        """One kNN query per node, results aligned with ``nodes``."""
+        nodes = _coerce_batch_nodes(nodes)
+        k = _coerce_k(k)
+        self._require_objects()
+        with self._scope("query.knn_batch", count=len(nodes), k=k):
+            return [self.knn(node, k, knn_type=knn_type) for node in nodes]
+
+    def knn_approximate(self, node: int, k: int) -> list[int]:
+        """Degraded-mode kNN.  Backends hold exact distances — there is
+        no cheaper category-only representation to fall back to — so the
+        "approximation" is the exact answer set."""
+        node = self._check_node(node)
+        k = _coerce_k(k)
+        self._require_objects()
+        with self._scope("query.knn_approximate", node=node, k=k):
+            fwd_hubs, fwd_dists = self._forward_entries(node)
+            pairs = self._knn_pairs(fwd_hubs, fwd_dists, k)
+        return [self.dataset[rank] for rank, _ in pairs]
+
+    def approximate_range(self, node: int, radius: float) -> list[int]:
+        """Degraded-mode range (serving §3.2 fallback): exact here."""
+        return self.range_query(node, radius)
+
+    def aggregate_range(
+        self, node: int, radius: float, aggregate: str = "count"
+    ) -> float:
+        """Aggregate over the objects within ``radius`` of ``node``."""
+        try:
+            reducer = _AGGREGATES[aggregate]
+        except KeyError:
+            raise QueryError(
+                f"unknown aggregate {aggregate!r}; pick one of "
+                f"{sorted(_AGGREGATES)}"
+            ) from None
+        with self._scope(
+            "query.aggregate_range", node=node, radius=radius,
+            aggregate=aggregate,
+        ):
+            pairs = self.range_query(node, radius, with_distances=True)
+            return reducer([distance for _, distance in pairs])
+
+    # ------------------------------------------------------------------
+    # updates (§5.4): documented rebuild-on-update
+    # ------------------------------------------------------------------
+    def _full_rebuild_report(self) -> update.UpdateReport:
+        # Rebuild-on-update touches everything; report it honestly.
+        return update.UpdateReport(
+            affected_objects=set(range(len(self.dataset))),
+            changed_components=0,
+            touched_nodes=self.network.num_nodes,
+            recompressed_nodes=0,
+        )
+
+    def add_edge(self, u: int, v: int, weight: float) -> update.UpdateReport:
+        """Insert an edge; the backend rebuilds from the mutated network."""
+        with self._scope("update.add_edge", u=u, v=v):
+            self.network.add_edge(u, v, weight)
+            self._rebuild()
+            self.metrics.counter("backend.rebuilds").inc()
+            return self._full_rebuild_report()
+
+    def remove_edge(self, u: int, v: int) -> update.UpdateReport:
+        """Remove an edge; the backend rebuilds from the mutated network."""
+        with self._scope("update.remove_edge", u=u, v=v):
+            self.network.remove_edge(u, v)
+            self._rebuild()
+            self.metrics.counter("backend.rebuilds").inc()
+            return self._full_rebuild_report()
+
+    def set_edge_weight(
+        self, u: int, v: int, weight: float
+    ) -> update.UpdateReport:
+        """Re-weight an edge; the backend rebuilds from the mutated
+        network."""
+        with self._scope("update.set_edge_weight", u=u, v=v):
+            self.network.set_edge_weight(u, v, weight)
+            self._rebuild()
+            self.metrics.counter("backend.rebuilds").inc()
+            return self._full_rebuild_report()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def reset_counters(self) -> None:
+        """Surface parity with the signature index (pages stay zero)."""
+        self.counter.reset()
+
+    def refresh_storage(self) -> None:
+        """No-op: backends hold plain arrays, nothing paged to re-pack.
+
+        Exists so the serving tier's maintenance endpoint works
+        unchanged against any backend.
+        """
+
+    def stats(self) -> dict:
+        """Structural summary as plain data (CLI ``info``/``stats``)."""
+        return {
+            "type": self.backend_name,
+            "backend": self.backend_name,
+            "shards": 1,
+            "nodes": self.network.num_nodes,
+            "edges": self.network.num_edges,
+            "objects": len(self.dataset),
+            "categories": self.partition.num_categories,
+            "bucket_entries": self.buckets.num_entries,
+            "index_bytes": self._structure_bytes(),
+            "object_table_bytes": self.object_table.size_bytes(),
+        }
+
+    def verify(self, *, sample_nodes: int = 16, seed: int = 0) -> None:
+        """Self-check sampled distances against fresh Dijkstra runs."""
+        from repro.network.dijkstra import shortest_path_tree
+
+        rng = np.random.default_rng(seed)
+        nodes = rng.choice(
+            self.network.num_nodes,
+            size=min(sample_nodes, self.network.num_nodes),
+            replace=False,
+        )
+        for object_node in self.dataset:
+            tree = shortest_path_tree(self.network, object_node)
+            for node in nodes:
+                node = int(node)
+                truth = tree.distance[node]
+                got = self._point_distance(node, int(object_node))
+                if got != truth:
+                    raise IndexError_(
+                        f"node {node} object {object_node}: "
+                        f"{self.backend_name} distance {got} != "
+                        f"Dijkstra {truth}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(nodes={self.network.num_nodes}, "
+            f"objects={len(self.dataset)}, "
+            f"bucket_entries={self.buckets.num_entries})"
+        )
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SCOPE = _NullScope()

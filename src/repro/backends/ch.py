@@ -1,0 +1,505 @@
+"""Contraction hierarchies: the preprocessing and the upward search.
+
+The second index family (see ``docs/BACKENDS.md``): instead of
+precomputing per-object distance *signatures*, preprocess the network
+itself.  Nodes are contracted one by one in importance order; each
+contraction inserts *shortcut* edges between the removed node's
+neighbors whenever the two-hop path through it was a shortest path
+(checked by a bounded *witness search*).  The surviving structure — the
+original edges plus the shortcuts, each directed from its lower-ranked
+to its higher-ranked endpoint — is the *upward graph*, stored here as a
+CSR over contiguous numpy arrays so it can be persisted and mmapped
+verbatim.
+
+Two query primitives come out of it:
+
+* :meth:`ContractionHierarchy.distance` — a bidirectional Dijkstra that
+  only relaxes upward edges from both endpoints; the exact distance is
+  the best meeting point (Geisberger et al.'s CH query, engineered as in
+  Zhu et al., "Shortest Path and Distance Queries on Road Networks:
+  Towards Bridging Theory and Practice");
+* :meth:`ContractionHierarchy.search_space` — one upward sweep with
+  stall-on-demand, the building block for hub labels and for the
+  object-bucket lists both backends use for range/kNN
+  (:mod:`repro.backends.base`).
+
+Node ordering is *edge difference with lazy re-evaluation*: the priority
+of a node is (shortcuts its contraction would insert) − (edges it
+removes) + (already-contracted former neighbors, which spreads the
+contraction evenly).  Priorities are kept in a heap and re-evaluated
+only when popped — if the fresh value no longer beats the runner-up the
+node is pushed back, otherwise it is contracted with the (possibly
+slightly stale) witness information recomputed on the spot.
+
+Everything is exact: witness searches are *bounded* (settle cap) which
+may only insert redundant shortcuts, never miss a needed one, and
+stall-on-demand only suppresses settled entries whose upward distance is
+provably not a shortest path.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+
+import numpy as np
+
+from repro.backends.base import (
+    BucketLists,
+    HierarchyIndexBase,
+    pairwise_label_distances,
+)
+from repro.core.signature import ObjectDistanceTable
+from repro.network.graph import RoadNetwork
+from repro.obs.tracing import Tracer
+
+__all__ = ["CHIndex", "ContractionHierarchy"]
+
+#: Witness searches give up after settling this many nodes.  A missed
+#: witness only costs one redundant shortcut (correctness is unaffected),
+#: so the cap trades preprocessing time against upward-graph size.
+WITNESS_SETTLE_CAP = 60
+
+
+def _witness_distances(
+    adj: list[dict[int, float]],
+    contracted: np.ndarray,
+    source: int,
+    excluded: int,
+    targets: set[int],
+    bound: float,
+    settle_cap: int = WITNESS_SETTLE_CAP,
+) -> dict[int, float]:
+    """Bounded Dijkstra over the *uncontracted* graph minus ``excluded``.
+
+    Returns the exact distances found to ``targets`` (missing targets
+    were not proven reachable within ``bound`` under the settle cap —
+    the caller must then insert a shortcut).
+    """
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    found: dict[int, float] = {}
+    remaining = set(targets)
+    settled = 0
+    while heap and remaining and settled < settle_cap:
+        d, u = heappop(heap)
+        if d > dist.get(u, math.inf):
+            continue  # stale heap entry
+        if d > bound:
+            break
+        settled += 1
+        if u in remaining:
+            found[u] = d
+            remaining.discard(u)
+        for w, weight in adj[u].items():
+            if w == excluded or contracted[w]:
+                continue
+            nd = d + weight
+            if nd < dist.get(w, math.inf):
+                dist[w] = nd
+                heappush(heap, (nd, w))
+    return found
+
+
+class ContractionHierarchy:
+    """The preprocessed hierarchy: contraction order plus upward CSR.
+
+    Attributes
+    ----------
+    order:
+        ``order[node]`` is the node's contraction rank (0 = contracted
+        first = least important).
+    up_indptr / up_targets / up_weights:
+        CSR of the upward graph: node ``v``'s upward edges are
+        ``up_targets[up_indptr[v]:up_indptr[v+1]]`` (all higher-ranked)
+        with weights ``up_weights[...]``.  Because the network is
+        undirected the same CSR serves both search directions.
+    num_shortcuts:
+        Shortcut edges inserted during contraction (the preprocessing
+        cost the §6-style bench reports).
+    """
+
+    def __init__(
+        self,
+        order: np.ndarray,
+        up_indptr: np.ndarray,
+        up_targets: np.ndarray,
+        up_weights: np.ndarray,
+        num_shortcuts: int,
+        *,
+        metrics=None,
+    ) -> None:
+        self.order = order
+        self.up_indptr = up_indptr
+        self.up_targets = up_targets
+        self.up_weights = up_weights
+        self.num_shortcuts = int(num_shortcuts)
+        self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics) -> None:
+        """Bind (or rebind) the ``backend.ch.settled`` counter."""
+        if metrics is None:
+            from repro.obs.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self._metric_settled = metrics.counter("backend.ch.settled")
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        *,
+        settle_cap: int = WITNESS_SETTLE_CAP,
+        metrics=None,
+    ) -> "ContractionHierarchy":
+        """Contract every node of ``network`` and assemble the upward CSR.
+
+        Edge-difference ordering with lazy re-evaluation; witness
+        searches bounded by ``settle_cap``.  Parallel edges (possible
+        when a shortcut doubles an original edge) keep the minimum
+        weight, so the upward graph stays simple.
+        """
+        n = network.num_nodes
+        adj: list[dict[int, float]] = [dict() for _ in range(n)]
+        for node in range(n):
+            for neighbor, weight in network.neighbors(node):
+                current = adj[node].get(neighbor)
+                if current is None or weight < current:
+                    adj[node][neighbor] = weight
+        contracted = np.zeros(n, dtype=bool)
+        deleted_neighbors = np.zeros(n, dtype=np.int32)
+        order = np.zeros(n, dtype=np.int32)
+        up_edges: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        num_shortcuts = 0
+
+        def shortcuts_for(v: int) -> list[tuple[int, int, float]]:
+            """Shortcuts contraction of ``v`` needs (u < w, both live)."""
+            neighbors = [
+                (u, weight)
+                for u, weight in adj[v].items()
+                if not contracted[u]
+            ]
+            needed: list[tuple[int, int, float]] = []
+            for i, (u, wu) in enumerate(neighbors):
+                targets = {w for w, _ in neighbors[i + 1:]}
+                if not targets:
+                    continue
+                bound = wu + max(ww for w, ww in neighbors[i + 1:])
+                witness = _witness_distances(
+                    adj, contracted, u, v, targets, bound, settle_cap
+                )
+                for w, ww in neighbors[i + 1:]:
+                    through = wu + ww
+                    if witness.get(w, math.inf) > through:
+                        needed.append((u, w, through))
+            return needed
+
+        def priority_of(v: int) -> float:
+            return (
+                len(shortcuts_for(v))
+                - sum(1 for u in adj[v] if not contracted[u])
+                + int(deleted_neighbors[v])
+            )
+
+        heap: list[tuple[float, int]] = [
+            (priority_of(v), v) for v in range(n)
+        ]
+        heapify(heap)
+        rank = 0
+        while heap:
+            priority, v = heappop(heap)
+            if contracted[v]:
+                continue
+            # Lazy re-evaluation: the popped priority may predate nearby
+            # contractions.  Recompute; requeue unless it still wins.
+            fresh = priority_of(v)
+            if heap and fresh > heap[0][0]:
+                heappush(heap, (fresh, v))
+                continue
+            shortcuts = shortcuts_for(v)
+            live = [
+                (u, weight)
+                for u, weight in adj[v].items()
+                if not contracted[u]
+            ]
+            up_edges[v] = live
+            for u, _ in live:
+                deleted_neighbors[u] += 1
+            for u, w, weight in shortcuts:
+                existing = adj[u].get(w)
+                if existing is None or weight < existing:
+                    adj[u][w] = weight
+                    adj[w][u] = weight
+                    if existing is None:
+                        num_shortcuts += 1
+            contracted[v] = True
+            order[v] = rank
+            rank += 1
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for v in range(n):
+            indptr[v + 1] = indptr[v] + len(up_edges[v])
+        targets = np.zeros(int(indptr[-1]), dtype=np.int32)
+        weights = np.zeros(int(indptr[-1]), dtype=np.float64)
+        for v in range(n):
+            start = int(indptr[v])
+            for offset, (u, weight) in enumerate(up_edges[v]):
+                targets[start + offset] = u
+                weights[start + offset] = weight
+        return cls(
+            order, indptr, targets, weights, num_shortcuts, metrics=metrics
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.order)
+
+    @property
+    def num_upward_edges(self) -> int:
+        return len(self.up_targets)
+
+    def nbytes(self) -> int:
+        """In-memory footprint of the hierarchy arrays."""
+        return (
+            self.order.nbytes
+            + self.up_indptr.nbytes
+            + self.up_targets.nbytes
+            + self.up_weights.nbytes
+        )
+
+    def _upward_dijkstra(self, source: int, *, stall: bool) -> dict[int, float]:
+        """All settled upward distances from ``source`` (possibly > exact).
+
+        With ``stall`` (stall-on-demand), a popped node whose tentative
+        distance is beaten by a settled neighbor plus the connecting
+        edge is suppressed: that entry provably is not a shortest path,
+        and — because an exact entry can never be beaten by a real path
+        — every exact-distance entry survives.  The settled map is
+        therefore still a valid hub label for ``source``.
+        """
+        indptr, targets, weights = (
+            self.up_indptr, self.up_targets, self.up_weights,
+        )
+        dist: dict[int, float] = {source: 0.0}
+        settled: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heappop(heap)
+            if u in settled or d > dist.get(u, math.inf):
+                continue
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            if stall:
+                stalled = False
+                for pos in range(lo, hi):
+                    w = int(targets[pos])
+                    if settled.get(w, math.inf) + weights[pos] < d:
+                        stalled = True
+                        break
+                if stalled:
+                    continue
+            settled[u] = d
+            for pos in range(lo, hi):
+                w = int(targets[pos])
+                nd = d + weights[pos]
+                if nd < dist.get(w, math.inf):
+                    dist[w] = nd
+                    heappush(heap, (nd, w))
+        self._metric_settled.inc(len(settled))
+        return settled
+
+    def search_space(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        """The stalled upward search space, sorted by node id.
+
+        Returns ``(nodes, distances)`` — a valid (unpruned) hub label
+        for ``source``: for every target ``t`` the minimum of
+        ``d_s(m) + d_t(m)`` over shared entries ``m`` is the exact
+        network distance.
+        """
+        settled = self._upward_dijkstra(source, stall=True)
+        nodes = np.fromiter(settled.keys(), dtype=np.int64, count=len(settled))
+        dists = np.fromiter(
+            settled.values(), dtype=np.float64, count=len(settled)
+        )
+        ordered = np.argsort(nodes, kind="stable")
+        return nodes[ordered].astype(np.int32), dists[ordered]
+
+    def distance(self, source: int, target: int) -> float:
+        """Exact point-to-point distance (bidirectional upward Dijkstra).
+
+        Both directions relax only upward edges; every shortest path has
+        a unique highest-ranked node, reached upward from both ends, so
+        the best meeting point is exact.  A direction stops once its
+        queue head can no longer improve the incumbent.
+        """
+        if source == target:
+            return 0.0
+        indptr, targets, weights = (
+            self.up_indptr, self.up_targets, self.up_weights,
+        )
+        dist_f: dict[int, float] = {source: 0.0}
+        dist_b: dict[int, float] = {target: 0.0}
+        heap_f: list[tuple[float, int]] = [(0.0, source)]
+        heap_b: list[tuple[float, int]] = [(0.0, target)]
+        done_f: set[int] = set()
+        done_b: set[int] = set()
+        best = math.inf
+        settled = 0
+        while heap_f or heap_b:
+            if heap_f and (not heap_b or heap_f[0][0] <= heap_b[0][0]):
+                heap, dist, done, other = heap_f, dist_f, done_f, dist_b
+            else:
+                heap, dist, done, other = heap_b, dist_b, done_b, dist_f
+            d, u = heappop(heap)
+            if d >= best:
+                # Nothing on this side can improve the incumbent; drain it.
+                heap.clear()
+                continue
+            if u in done or d > dist.get(u, math.inf):
+                continue
+            done.add(u)
+            settled += 1
+            if u in other:
+                total = d + other[u]
+                if total < best:
+                    best = total
+            for pos in range(int(indptr[u]), int(indptr[u + 1])):
+                w = int(targets[pos])
+                nd = d + weights[pos]
+                if nd < dist.get(w, math.inf):
+                    dist[w] = nd
+                    heappush(heap, (nd, w))
+        self._metric_settled.inc(settled)
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContractionHierarchy(nodes={self.num_nodes}, "
+            f"upward_edges={self.num_upward_edges}, "
+            f"shortcuts={self.num_shortcuts})"
+        )
+
+
+class CHIndex(HierarchyIndexBase):
+    """The contraction-hierarchy backend behind ``DistanceIndex``.
+
+    Point-to-point ``distance()`` is the bidirectional upward Dijkstra.
+    Range/kNN use the shared bucket lists of :mod:`repro.backends.base`,
+    fed from each *object's* stalled upward search space; the query side
+    runs one upward sweep per query (its search space is computed on the
+    fly, not stored), which keeps the index small at the cost of per-
+    query settle work — the trade-off the hub-label backend flips.
+
+    Bucket entries taken from raw search spaces may overestimate
+    individual hub distances, but for every object the minimum over
+    shared hubs is exact (a search space is a valid hub label), which is
+    all the bucket algorithms rely on.
+    """
+
+    backend_name = "ch"
+
+    def __init__(
+        self,
+        network,
+        dataset,
+        hierarchy: ContractionHierarchy,
+        partition,
+        object_table,
+        buckets,
+        *,
+        metrics=None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        super().__init__(
+            network, dataset, partition, object_table, buckets,
+            metrics=metrics,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        dataset,
+        *,
+        settle_cap: int = WITNESS_SETTLE_CAP,
+        metrics=None,
+    ) -> "CHIndex":
+        """Contract the network, then bucket the object search spaces.
+
+        The build trace (``index.build_trace``) carries one span per
+        phase — ``build.contract``, ``build.buckets``,
+        ``build.object_table`` — and each phase's wall time also lands
+        on a ``backend.ch.build.<phase>_seconds`` gauge when metrics are
+        enabled.
+        """
+        trace = Tracer()
+        with trace.span("build.ch", nodes=network.num_nodes):
+            with trace.span("build.contract") as span:
+                hierarchy = ContractionHierarchy.build(
+                    network, settle_cap=settle_cap, metrics=metrics
+                )
+                span.set("shortcuts", hierarchy.num_shortcuts)
+            with trace.span("build.buckets") as span:
+                entries = [
+                    hierarchy.search_space(object_node)
+                    for object_node in dataset
+                ]
+                buckets = BucketLists.build(network.num_nodes, entries)
+                span.set("entries", buckets.num_entries)
+            with trace.span("build.object_table"):
+                distances = pairwise_label_distances(entries)
+                partition = cls._derive_partition(distances)
+                object_table = ObjectDistanceTable(
+                    distances, partition, drop_last_category=False
+                )
+        index = cls(
+            network, dataset, hierarchy, partition, object_table, buckets,
+            metrics=metrics,
+        )
+        index._record_build_trace(trace)
+        return index
+
+    def _record_build_trace(self, trace: Tracer) -> None:
+        self.build_trace = trace
+        for span in trace.walk():
+            if span.name.startswith("build.") and span.name != "build.ch":
+                phase = span.name.removeprefix("build.")
+                self.metrics.gauge(
+                    f"backend.ch.build.{phase}_seconds"
+                ).set(span.seconds)
+
+    # ------------------------------------------------------------------
+    # HierarchyIndexBase hooks
+    # ------------------------------------------------------------------
+    def _bind_backend_metrics(self, registry) -> None:
+        self.hierarchy.bind_metrics(registry)
+
+    def _forward_entries(self, node: int):
+        return self.hierarchy.search_space(node)
+
+    def _point_distance(self, node: int, target: int) -> float:
+        return self.hierarchy.distance(node, target)
+
+    def _rebuild(self) -> None:
+        rebuilt = type(self).build(
+            self.network, self.dataset, metrics=self.metrics
+        )
+        self.hierarchy = rebuilt.hierarchy
+        self.buckets = rebuilt.buckets
+        self.partition = rebuilt.partition
+        self.object_table = rebuilt.object_table
+        self.build_trace = rebuilt.build_trace
+
+    def _structure_bytes(self) -> int:
+        return self.hierarchy.nbytes() + self.buckets.nbytes()
+
+    def stats(self) -> dict:
+        report = super().stats()
+        report["shortcuts"] = self.hierarchy.num_shortcuts
+        report["upward_edges"] = self.hierarchy.num_upward_edges
+        return report

@@ -1,0 +1,235 @@
+"""Hub labels distilled from CH search spaces (2-hop distance labels).
+
+The third index family: where the CH backend runs an upward search per
+query, this one runs *all* the searches at preprocessing time and stores
+the result.  Every node ``v`` gets a label ``L(v)`` — hub ids and exact
+distances, sorted by hub id in one contiguous CSR — such that for any
+``s, t`` the minimum of ``d_s(h) + d_t(h)`` over hubs shared by
+``L(s)`` and ``L(t)`` is the exact network distance (the 2-hop cover
+property, cf. "Hop Doubling Label Indexing" in PAPERS.md; the
+construction here is the CH-based one of Abraham et al. as engineered by
+Zhu et al.).
+
+Construction: labels are the *stalled upward search spaces* of
+:class:`~repro.backends.ch.ContractionHierarchy`, pruned of
+overestimates.  Nodes are processed in descending contraction rank, so
+every hub in ``v``'s search space (all higher-ranked) already has a
+final label; an entry ``(h, d)`` survives iff joining the search space
+against ``L(h)`` cannot beat ``d`` — i.e. iff ``d`` is the exact
+distance to ``h``.  Pruning only removes entries that were never
+shortest-path witnesses, so the cover property is inherited from the
+search spaces.
+
+``distance()`` is then a sorted-merge intersection of two label slices —
+no graph traversal at all — which is what buys the order-of-magnitude
+qps gap over both other backends (``BENCH_backends.json``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import (
+    BucketLists,
+    HierarchyIndexBase,
+    label_join,
+    pairwise_label_distances,
+)
+from repro.backends.ch import WITNESS_SETTLE_CAP, ContractionHierarchy
+from repro.core.signature import ObjectDistanceTable
+from repro.network.graph import RoadNetwork
+from repro.obs.tracing import Tracer
+
+__all__ = ["HubLabelIndex", "build_labels"]
+
+
+def build_labels(
+    hierarchy: ContractionHierarchy,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pruned hub labels for every node, as one CSR.
+
+    Returns ``(label_indptr, label_hubs, label_dists)``; node ``v``'s
+    label is the slice ``label_indptr[v]:label_indptr[v+1]``, sorted by
+    hub id with exact distances.
+    """
+    n = hierarchy.num_nodes
+    labels: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n
+    # Descending rank: every hub a search space reaches is higher-ranked
+    # than its source, so its pruned label is already final when needed.
+    for node in reversed(np.argsort(hierarchy.order)):
+        node = int(node)
+        hubs, dists = hierarchy.search_space(node)
+        keep = np.ones(len(hubs), dtype=bool)
+        for i in range(len(hubs)):
+            hub = int(hubs[i])
+            if hub == node:
+                continue  # the self entry (v, 0) is always exact
+            hub_hubs, hub_dists = labels[hub]
+            if label_join(hubs, dists, hub_hubs, hub_dists) < dists[i]:
+                keep[i] = False  # provably an overestimate — never needed
+        labels[node] = (hubs[keep], dists[keep])
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for node in range(n):
+        indptr[node + 1] = indptr[node] + len(labels[node][0])
+    label_hubs = (
+        np.concatenate([hubs for hubs, _ in labels])
+        if n
+        else np.zeros(0, dtype=np.int32)
+    )
+    label_dists = (
+        np.concatenate([dists for _, dists in labels])
+        if n
+        else np.zeros(0, dtype=np.float64)
+    )
+    return indptr, label_hubs.astype(np.int32), label_dists
+
+
+class HubLabelIndex(HierarchyIndexBase):
+    """The hub-label backend behind ``DistanceIndex``.
+
+    Queries touch only label arrays: ``distance()`` joins two label
+    slices; range/kNN join the query label against the shared bucket
+    lists (built from the *object labels*, so every bucket entry is an
+    exact distance).  The price is paid up front — labels for all n
+    nodes dominate the index size — which is exactly the trade the
+    head-to-head benchmark quantifies against CH and the signature
+    index.
+    """
+
+    backend_name = "hub"
+
+    def __init__(
+        self,
+        network,
+        dataset,
+        order: np.ndarray,
+        label_indptr: np.ndarray,
+        label_hubs: np.ndarray,
+        label_dists: np.ndarray,
+        partition,
+        object_table,
+        buckets,
+        *,
+        metrics=None,
+    ) -> None:
+        self.order = order
+        self.label_indptr = label_indptr
+        self.label_hubs = label_hubs
+        self.label_dists = label_dists
+        super().__init__(
+            network, dataset, partition, object_table, buckets,
+            metrics=metrics,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        dataset,
+        *,
+        settle_cap: int = WITNESS_SETTLE_CAP,
+        metrics=None,
+    ) -> "HubLabelIndex":
+        """Contract, distill labels, bucket the object labels.
+
+        Build phases — ``build.contract``, ``build.labels``,
+        ``build.buckets``, ``build.object_table`` — land on
+        ``index.build_trace`` spans and ``backend.hub.build.*_seconds``
+        gauges.
+        """
+        trace = Tracer()
+        with trace.span("build.hub", nodes=network.num_nodes):
+            with trace.span("build.contract") as span:
+                hierarchy = ContractionHierarchy.build(
+                    network, settle_cap=settle_cap, metrics=metrics
+                )
+                span.set("shortcuts", hierarchy.num_shortcuts)
+            with trace.span("build.labels") as span:
+                indptr, hubs, dists = build_labels(hierarchy)
+                span.set("entries", len(hubs))
+            with trace.span("build.buckets") as span:
+                entries = [
+                    (
+                        hubs[indptr[obj]:indptr[obj + 1]],
+                        dists[indptr[obj]:indptr[obj + 1]],
+                    )
+                    for obj in dataset
+                ]
+                buckets = BucketLists.build(network.num_nodes, entries)
+                span.set("entries", buckets.num_entries)
+            with trace.span("build.object_table"):
+                distances = pairwise_label_distances(entries)
+                partition = cls._derive_partition(distances)
+                object_table = ObjectDistanceTable(
+                    distances, partition, drop_last_category=False
+                )
+        index = cls(
+            network, dataset, hierarchy.order, indptr, hubs, dists,
+            partition, object_table, buckets, metrics=metrics,
+        )
+        index._record_build_trace(trace)
+        return index
+
+    def _record_build_trace(self, trace: Tracer) -> None:
+        self.build_trace = trace
+        for span in trace.walk():
+            if span.name.startswith("build.") and span.name != "build.hub":
+                phase = span.name.removeprefix("build.")
+                self.metrics.gauge(
+                    f"backend.hub.build.{phase}_seconds"
+                ).set(span.seconds)
+
+    # ------------------------------------------------------------------
+    # HierarchyIndexBase hooks
+    # ------------------------------------------------------------------
+    @property
+    def num_label_entries(self) -> int:
+        return len(self.label_hubs)
+
+    def _bind_backend_metrics(self, registry) -> None:
+        registry.gauge("backend.hub.label_entries").set(
+            self.num_label_entries
+        )
+
+    def _forward_entries(self, node: int):
+        lo = int(self.label_indptr[node])
+        hi = int(self.label_indptr[node + 1])
+        return self.label_hubs[lo:hi], self.label_dists[lo:hi]
+
+    def _point_distance(self, node: int, target: int) -> float:
+        hubs_a, dists_a = self._forward_entries(node)
+        hubs_b, dists_b = self._forward_entries(target)
+        return label_join(hubs_a, dists_a, hubs_b, dists_b)
+
+    def _rebuild(self) -> None:
+        rebuilt = type(self).build(
+            self.network, self.dataset, metrics=self.metrics
+        )
+        self.order = rebuilt.order
+        self.label_indptr = rebuilt.label_indptr
+        self.label_hubs = rebuilt.label_hubs
+        self.label_dists = rebuilt.label_dists
+        self.buckets = rebuilt.buckets
+        self.partition = rebuilt.partition
+        self.object_table = rebuilt.object_table
+        self.build_trace = rebuilt.build_trace
+        self._bind_backend_metrics(self.metrics)
+
+    def _structure_bytes(self) -> int:
+        return (
+            self.order.nbytes
+            + self.label_indptr.nbytes
+            + self.label_hubs.nbytes
+            + self.label_dists.nbytes
+            + self.buckets.nbytes()
+        )
+
+    def stats(self) -> dict:
+        report = super().stats()
+        report["label_entries"] = self.num_label_entries
+        report["mean_label_size"] = (
+            self.num_label_entries / self.network.num_nodes
+            if self.network.num_nodes
+            else 0.0
+        )
+        return report

@@ -103,10 +103,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON"
     )
 
-    build = sub.add_parser("build", help="build and persist a signature index")
+    build = sub.add_parser("build", help="build and persist a distance index")
     build.add_argument("network", help="network file")
     build.add_argument("dataset", help="dataset file")
     build.add_argument("index_dir", help="directory to write the index to")
+    build.add_argument(
+        "--backend",
+        choices=("signature", "ch", "hub"),
+        default="signature",
+        help=(
+            "index family: the paper's distance signatures (default), a "
+            "contraction hierarchy, or hub labels (docs/BACKENDS.md)"
+        ),
+    )
     build.add_argument(
         "--partition",
         choices=("optimal", "paper", "empirical"),
@@ -403,6 +412,29 @@ def _cmd_partition(args) -> int:
 def _cmd_build(args) -> int:
     network = load_network(args.network)
     dataset = load_dataset(args.dataset)
+    if args.backend != "signature":
+        from repro.backends import build_backend
+        from repro.errors import QueryError
+
+        if args.shards > 1:
+            raise QueryError(
+                f"--backend {args.backend} does not support --shards; "
+                "sharding is a signature-index feature"
+            )
+        index = build_backend(args.backend, network, dataset)
+        save_index(index, args.index_dir)
+        stats = index.stats()
+        extra = (
+            f"{stats['shortcuts']} shortcuts"
+            if args.backend == "ch"
+            else f"{stats['label_entries']} label entries"
+        )
+        print(
+            f"built {args.backend} index in {args.index_dir}: "
+            f"{stats['nodes']} nodes, {stats['objects']} objects, "
+            f"{extra}, {stats['index_bytes']} index bytes"
+        )
+        return 0
     partition = args.partition
     if partition == "empirical":
         from repro.analysis.empirical import optimize_partition
@@ -471,8 +503,26 @@ def _logical_reads(index) -> int:
 
 
 def _cmd_info(args) -> int:
+    from repro.backends import BACKENDS, backend_of
+
     index = load_index(args.index_dir)
     stats = index.stats()
+    print(f"backend:             {backend_of(index)}")
+    if stats["type"] in BACKENDS:
+        print(f"nodes:               {stats['nodes']}")
+        print(f"edges:               {stats['edges']}")
+        print(f"objects:             {stats['objects']}")
+        print(f"categories:          {stats['categories']}")
+        print(f"bucket entries:      {stats['bucket_entries']}")
+        print(f"index bytes:         {stats['index_bytes']}")
+        print(f"object table bytes:  {stats['object_table_bytes']}")
+        if "shortcuts" in stats:
+            print(f"shortcuts:           {stats['shortcuts']}")
+            print(f"upward edges:        {stats['upward_edges']}")
+        if "label_entries" in stats:
+            print(f"label entries:       {stats['label_entries']}")
+            print(f"mean label size:     {stats['mean_label_size']:.1f}")
+        return 0
     if stats["type"] == "sharded":
         print(f"type:                sharded ({stats['shards']} shards)")
         print(f"nodes:               {stats['nodes']}")
@@ -566,8 +616,11 @@ def _cmd_stats(args) -> int:
     elif args.out_format == "prometheus":
         print(metrics_to_prometheus(index.metrics))
     else:
+        from repro.backends import backend_of
+
         print(metrics_summary_table(index.metrics, title=args.index_dir))
         stats = index.stats()
+        print(f"# backend: {backend_of(index)}", file=sys.stderr)
         if stats["type"] == "sharded":
             for entry in stats["per_shard"]:
                 print(

@@ -63,11 +63,53 @@ __all__ = [
     "deserialize_table",
     "save_index",
     "load_index",
+    "register_format",
+    "register_backend_io",
+    "registered_magics",
 ]
 
 _MAGIC = "repro-signature-index 1"
 _MAGIC_V2 = "repro-signature-index 2"
 _MAGIC_V3 = "repro-signature-index 3"
+
+# Magic line -> loader(directory, meta).  Built-in formats register at
+# the bottom of this module; backend families (repro.backends) register
+# theirs on import, which load_index/save_index trigger lazily — new
+# backends extend the dispatch (and the unrecognized-magic error text)
+# without this module naming them.
+_FORMAT_LOADERS: dict = {}
+
+# backend_name -> saver(index, directory), for indexes that own their
+# whole on-disk layout (anything carrying a ``backend_name`` attribute).
+_BACKEND_SAVERS: dict = {}
+
+
+def register_format(magic: str, loader) -> None:
+    """Register ``loader(directory, meta) -> index`` for a magic line."""
+    _FORMAT_LOADERS[magic] = loader
+
+
+def register_backend_io(backend_name: str, magic: str, saver, loader) -> None:
+    """Register a backend family's save/load pair.
+
+    ``saver(index, directory)`` persists an index whose ``backend_name``
+    matches; ``loader(directory, meta)`` restores a directory whose
+    meta.txt opens with ``magic``.
+    """
+    _BACKEND_SAVERS[backend_name] = saver
+    register_format(magic, loader)
+
+
+def registered_magics() -> list[str]:
+    """Every magic line this build can load, sorted."""
+    _ensure_backend_formats()
+    return sorted(_FORMAT_LOADERS)
+
+
+def _ensure_backend_formats() -> None:
+    # Importing the package runs its persistence registrations; lazy so
+    # core carries no import-time dependency on the backend families.
+    import repro.backends.persistence  # noqa: F401
 
 # Links are stored shifted by 2 so the sentinels (-1 "here", -2 "none")
 # fit an unsigned field alongside adjacency positions 0..R-1.
@@ -187,7 +229,22 @@ def save_index(index, directory: str | Path, *, format: int | None = None) -> No
     loading.  ``format=1`` writes the legacy §5.2 bit stream
     (``signatures.bin``); v1 never persists trees and its load path
     recomputes the object table from the network.
+
+    Indexes from the alternate backend families (``repro.backends`` —
+    anything with a ``backend_name``) own their whole on-disk layout;
+    they dispatch to their registered saver and reject an explicit
+    ``format=`` (the numeric formats describe signature layouts only).
     """
+    _ensure_backend_formats()
+    backend = getattr(index, "backend_name", None)
+    if backend in _BACKEND_SAVERS:
+        if format is not None:
+            raise IndexError_(
+                f"the {backend!r} backend owns its on-disk format; "
+                f"omit format= when saving it"
+            )
+        _BACKEND_SAVERS[backend](index, directory)
+        return
     sharded = getattr(index, "num_shards", 1) > 1 or hasattr(index, "shards")
     if format is None:
         format = 3 if sharded else 2
@@ -281,23 +338,20 @@ def load_index(directory: str | Path):
         )
     lines = meta_path.read_text().splitlines()
     magic = lines[0] if lines else ""
-    if magic not in (_MAGIC, _MAGIC_V2, _MAGIC_V3):
+    _ensure_backend_formats()
+    loader = _FORMAT_LOADERS.get(magic)
+    if loader is None:
+        known = ", ".join(repr(m) for m in registered_magics())
         raise PersistenceError(
             f"{directory}: unrecognized index format (found magic "
-            f"{magic!r}; this build reads {_MAGIC!r} through {_MAGIC_V3!r})",
+            f"{magic!r}; this build reads {known})",
             magic=magic,
         )
     meta: dict[str, str] = {}
     for line in lines[1:]:
         key, _, value = line.partition(" ")
         meta[key] = value
-    if magic == _MAGIC_V3:
-        from repro.shard.persistence import load_sharded_index
-
-        return load_sharded_index(directory, meta)
-    if magic == _MAGIC_V2:
-        return _load_index_v2(directory, meta)
-    return _load_index_v1(directory, meta)
+    return loader(directory, meta)
 
 
 def _restore_serving_config(index, meta: dict[str, str]):
@@ -440,3 +494,14 @@ def _load_index_v2(directory: Path, meta: dict[str, str]):
         knn_refine=meta.get("knn_refine", "pruned"),
     )
     return _restore_serving_config(index, meta)
+
+
+def _load_index_v3(directory: Path, meta: dict[str, str]):
+    from repro.shard.persistence import load_sharded_index
+
+    return load_sharded_index(directory, meta)
+
+
+register_format(_MAGIC, _load_index_v1)
+register_format(_MAGIC_V2, _load_index_v2)
+register_format(_MAGIC_V3, _load_index_v3)

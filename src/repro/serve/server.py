@@ -180,6 +180,12 @@ class QueryServer:
         self._metric_requests = registry.counter("serve.requests")
         self._metric_errors = registry.counter("serve.errors")
         self._registry = registry
+        from repro.backends import backend_of
+
+        # Build-info gauge: the exporter has no labels, so the backend
+        # name rides in the metric name (repro_serve_build_info_backend_*).
+        self.backend = backend_of(index)
+        registry.gauge(f"serve.build_info.backend.{self.backend}").set(1)
         self._server: asyncio.AbstractServer | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._shard_pools: list[ProcessPoolExecutor | None] | None = None
@@ -585,6 +591,7 @@ class QueryServer:
             > self.config.degrade_latency_ms,
             "nodes": self.index.network.num_nodes,
             "objects": len(self.index.dataset),
+            "backend": self.backend,
             "workers": self.config.workers,
             "shards": getattr(self.index, "num_shards", 1),
             # §5.4 staleness at a glance: the coordinator's update epoch
@@ -837,7 +844,7 @@ class QueryServer:
 
     # -- lifecycle -----------------------------------------------------
     def _start_pool(self) -> None:
-        """Snapshot the index (format v2) and fork the worker pool.
+        """Snapshot the index (its natural format) and fork the worker pool.
 
         Every worker memory-maps the one snapshot (copy-on-write), so
         N workers cost one page-cache copy of the index and zero pickle
@@ -848,7 +855,10 @@ class QueryServer:
         snapshot = self._snapshot_path()
         from repro.core.persistence import save_index
 
-        save_index(self.index, snapshot, format=2)
+        # Natural-format dispatch: v2 for a monolithic signature index,
+        # the backend's own registered format for repro.backends indexes
+        # — workers load whatever magic the snapshot declares.
+        save_index(self.index, snapshot)
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX

@@ -80,7 +80,12 @@ _STATE: dict = {"index": None, "epoch": 0}
 
 
 def init_worker(index_dir: str) -> None:
-    """Pool initializer: mmap the snapshot at ``index_dir`` (format v2)."""
+    """Pool initializer: mmap the snapshot at ``index_dir``.
+
+    ``load_index`` dispatches on the snapshot's magic line, so workers
+    come up with whatever backend the snapshot declares — signature v2
+    or any ``repro.backends`` family.
+    """
     from repro.core.persistence import load_index
 
     _STATE["index"] = load_index(index_dir)
