@@ -157,6 +157,17 @@ def main() -> int:
             rows["ch"]["distance_qps"] / rows["signature"]["distance_qps"], 2
         ),
     }
+    # Construction cost relative to the signature build on the same
+    # machine: normalized, so bench_history can gate "the CH/hub build
+    # quietly got expensive" (a cost_ratio metric — higher is worse).
+    build_ratios = {
+        "ch_vs_signature_build": round(
+            rows["ch"]["build_s"] / rows["signature"]["build_s"], 2
+        ),
+        "hub_vs_signature_build": round(
+            rows["hub"]["build_s"] / rows["signature"]["build_s"], 2
+        ),
+    }
 
     payload = {
         "config": {
@@ -171,6 +182,7 @@ def main() -> int:
         "identical_distances": True,
         "backends": rows,
         "speedups": speedups,
+        "build_ratios": build_ratios,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {JSON_PATH}")
@@ -191,6 +203,10 @@ def main() -> int:
     lines.append(
         "speedups: "
         + ", ".join(f"{k}={v:g}x" for k, v in speedups.items())
+    )
+    lines.append(
+        "build cost: "
+        + ", ".join(f"{k}={v:g}x" for k, v in build_ratios.items())
     )
     write_result("backends", "\n".join(lines))
 

@@ -31,6 +31,11 @@ Three metric kinds, because they regress differently:
     against the median of previous *same-host* runs in the history file
     (default 15%); with no same-host history — e.g. a fresh CI runner —
     the check is skipped, not failed.
+``cost_ratio``
+    Same-run *cost* ratios (CH/hub build time over the signature build).
+    Machine-normalized like ``ratio`` and gated with the same loose
+    tolerance, but the regression direction is inverted: a build that
+    quietly got more expensive moves the ratio *up*.
 
 Baselines are keyed ``quick`` / ``full`` because ``--quick`` shrinks
 every benchmark's problem size (different page counts by design).
@@ -118,12 +123,28 @@ METRIC_SPECS: dict[str, dict[str, dict[str, tuple[str, ...]]]] = {
             "boundary_fraction": ("partition_quality", "boundary_fraction"),
         },
     },
+    "scale": {
+        "ratio": {
+            "kernel_speedup": ("batch_kernel", "speedup"),
+        },
+        "qps": {
+            "batch_join_qps": ("batch_kernel", "batch_qps"),
+        },
+    },
     "backends": {
         "ratio": {
             "hub_vs_signature_distance": (
                 "speedups", "hub_vs_signature_distance",
             ),
             "hub_vs_ch_distance": ("speedups", "hub_vs_ch_distance"),
+        },
+        "cost_ratio": {
+            "ch_vs_signature_build": (
+                "build_ratios", "ch_vs_signature_build",
+            ),
+            "hub_vs_signature_build": (
+                "build_ratios", "hub_vs_signature_build",
+            ),
         },
         "qps": {
             "signature_distance_qps": (
@@ -137,7 +158,12 @@ METRIC_SPECS: dict[str, dict[str, dict[str, tuple[str, ...]]]] = {
 
 #: Regression direction per kind: pages regress *up*, rates regress
 #: *down*.
-HIGHER_IS_WORSE = {"pages": True, "ratio": False, "qps": False}
+HIGHER_IS_WORSE = {
+    "pages": True,
+    "ratio": False,
+    "qps": False,
+    "cost_ratio": True,
+}
 
 
 def _dig(payload: dict, path: tuple[str, ...]):

@@ -37,11 +37,23 @@ holds — is everything *around* that primitive:
 from __future__ import annotations
 
 import math
+import threading
 import time
+import weakref
 from contextlib import contextmanager
 from heapq import heappop, heappush
 
 import numpy as np
+
+try:  # C-speed CSR row gathers for the batch join; optional.
+    from scipy.sparse._sparsetools import csr_row_index as _csr_row_index
+except ImportError:  # pragma: no cover - scipy ships with the test extra
+    _csr_row_index = None
+
+#: Cleared if the private sparsetools entry point ever rejects our call
+#: (a future scipy changing its signature) — the numpy gather path then
+#: serves every batch, same answers.
+_DIRECT_GATHER_OK = True
 
 from repro.core import update
 from repro.core.categories import CategoryPartition, optimal_partition
@@ -56,6 +68,7 @@ from repro.storage.pager import PageAccessCounter
 __all__ = [
     "BucketLists",
     "HierarchyIndexBase",
+    "batch_label_join_csr",
     "label_join",
     "pairwise_label_distances",
 ]
@@ -82,6 +95,313 @@ def label_join(
     if len(common) == 0:
         return math.inf
     return float(np.min(dists_a[idx_a] + dists_b[idx_b]))
+
+
+def _expand_side(
+    indptr: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat element indices for every node's label slice, back to back.
+
+    Returns ``(idx, counts)``: ``idx`` walks slice 0, then slice 1, …
+    and ``counts[p]`` is slice ``p``'s length inside ``idx``.
+    """
+    lo = indptr[nodes]
+    counts = (indptr[nodes + 1] - lo).astype(np.int64)
+    ends = np.cumsum(counts)
+    total = int(ends[-1]) if len(ends) else 0
+    idx = np.arange(total, dtype=np.int64)
+    if total:
+        idx += np.repeat(lo - (ends - counts), counts)
+    return idx, counts
+
+
+class _JoinWorkspace(threading.local):
+    """Per-thread reusable buffers for the pack-sort join.
+
+    The join's working arrays scale with the batch's label mass
+    (hundreds of KiB at road-network label sizes) — past glibc's mmap
+    threshold, so allocating them per call hands the pages back to the
+    OS on free and every pass re-faults them in.  Carving slices out of
+    a few geometrically grown thread-local buffers keeps the hot path
+    allocation-free for everything that scales with the batch.
+    """
+
+    def __init__(self) -> None:
+        self.idx_bits = 0
+        self.iota = np.zeros(0, dtype=np.int64)
+        self.iota_side = np.zeros(0, dtype=np.int64)
+        self.flat = np.zeros(0, dtype=np.int64)
+        self.merged = np.zeros(0, dtype=np.int64)
+        self.shifted = np.zeros(0, dtype=np.int64)
+        self.gather = np.zeros(0, dtype=np.int32)
+        self.dist_a = np.zeros(0, dtype=np.float64)
+        self.dist_b = np.zeros(0, dtype=np.float64)
+        self.matched = np.zeros(0, dtype=np.float64)
+        self.eq = np.zeros(0, dtype=bool)
+
+    def reserve(self, total: int) -> None:
+        if self.iota.size < total:
+            cap = max(1024, 1 << int(total - 1).bit_length())
+            # Entry positions are < cap, so they fit below this bit; the
+            # side marker sits exactly on it.
+            self.idx_bits = cap.bit_length()
+            self.iota = np.arange(cap, dtype=np.int64)
+            self.iota_side = self.iota + (1 << self.idx_bits)
+            self.flat = np.zeros(cap, dtype=np.int64)
+            self.merged = np.zeros(cap, dtype=np.int64)
+            self.shifted = np.zeros(cap, dtype=np.int64)
+            self.gather = np.zeros(cap, dtype=np.int32)
+            self.dist_a = np.zeros(cap, dtype=np.float64)
+            self.dist_b = np.zeros(cap, dtype=np.float64)
+            self.matched = np.zeros(cap, dtype=np.float64)
+            self.eq = np.zeros(cap, dtype=bool)
+
+
+_JOIN_WORKSPACE = _JoinWorkspace()
+
+#: Memoized int32 copies of label indptrs for the C row gather, keyed
+#: by ``id(indptr)`` and revalidated by identity (a weakref keeps a
+#: recycled id from ever aliasing a new array).
+_INDPTR32_CACHE: dict[int, tuple] = {}
+
+
+def _indptr32(indptr: np.ndarray) -> np.ndarray:
+    """``indptr`` as int32, cached per label CSR.
+
+    The caller guarantees the values fit (it routes CSRs with ``>= 2^31``
+    entries to the fallback join); serving and benchmarks join against
+    the same label arrays for the life of an index, so the one-time
+    conversion amortizes to nothing.
+    """
+    key = id(indptr)
+    entry = _INDPTR32_CACHE.get(key)
+    if entry is not None:
+        ref, ip32 = entry
+        if ref() is indptr:
+            return ip32
+    if len(_INDPTR32_CACHE) >= 8:
+        _INDPTR32_CACHE.clear()
+    ip32 = np.ascontiguousarray(indptr, dtype=np.int32)
+    _INDPTR32_CACHE[key] = (weakref.ref(indptr), ip32)
+    return ip32
+
+
+def batch_label_join_csr(
+    indptr: np.ndarray,
+    hubs: np.ndarray,
+    dists: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> np.ndarray:
+    """:func:`label_join` for many node pairs in one vectorized pass.
+
+    ``left[i]`` / ``right[i]`` index label slices of the same CSR
+    (``indptr`` / ``hubs`` / ``dists``, hub-sorted within each slice).
+    Both sides' slices are first concatenated — hub ids and distances
+    together — by scipy's C CSR row gather (``csr_row_index``) writing
+    straight into workspace buffers (a numpy expand-and-``take`` path
+    covers builds without scipy, same answers).  Every gathered entry
+    then packs into one int64: the pair-scoped key
+    ``(pair_id << hub_bits) | hub`` above, and the entry's *position*
+    in the gathered run below, with the right side offset by a marker
+    bit so left sorts before right on key ties.  One in-place
+    :meth:`ndarray.sort` brings shared hubs adjacent — the input is two
+    pre-sorted runs, which timsort merges in one near-linear pass — and
+    a key occurs at most once per side (hubs are unique within a
+    label), so every match is an adjacent left/right pair of entries
+    carrying both gather positions in their low bits.  Summing the
+    cache-warm gathered distances at those positions and a segmented
+    :func:`np.minimum.reduceat` over the key-ordered (hence
+    pair-grouped) matches yields the same minimum summed distance the
+    scalar sorted-merge computes, bit for bit.  Pairs sharing no hub
+    come back ``inf`` (disconnected), exactly like the scalar join.
+
+    Gathers, packed entries, and the sort all live in slices of
+    :data:`_JOIN_WORKSPACE`, so a warm call allocates nothing that
+    scales with the batch.  Shapes that overflow the bit layout —
+    enormous batches or graphs — take the pair-scoped-key
+    :func:`np.searchsorted` join instead, with identical answers.
+    """
+    global _DIRECT_GATHER_OK
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    if len(left) != len(right):
+        raise ValueError(
+            f"batch join needs aligned pair arrays, got {len(left)} "
+            f"vs {len(right)}"
+        )
+    num_pairs = len(left)
+    out = np.full(num_pairs, math.inf, dtype=np.float64)
+    if num_pairs == 0:
+        return out
+    indptr = np.asarray(indptr)
+    base = len(indptr)  # > any hub id
+    hub_bits = int(base).bit_length()  # pair stride is a shift, not a mul
+    cnt_a = indptr[left + 1] - indptr[left]
+    total_a = int(cnt_a.sum())
+    cnt_b = indptr[right + 1] - indptr[right]
+    total_b = int(cnt_b.sum())
+    if total_a == 0 or total_b == 0:
+        return out
+    total = total_a + total_b
+    if (num_pairs << hub_bits) >= 1 << 31 or total >= 1 << 22:
+        a_idx, _ = _expand_side(indptr, left)
+        b_idx, _ = _expand_side(indptr, right)
+        return _batch_join_searchsorted(
+            indptr, hubs, dists, out, a_idx, cnt_a, b_idx, cnt_b
+        )
+
+    ws = _JOIN_WORKSPACE
+    ws.reserve(total)
+    idx_bits = ws.idx_bits  # gather positions fit below the side marker
+    key_shift = idx_bits + 1
+    key_a = key_b = None
+    if (
+        _csr_row_index is not None
+        and _DIRECT_GATHER_OK
+        and hubs.dtype == np.int32
+        and dists.dtype == np.float64
+        and int(indptr[-1]) < 1 << 31
+    ):
+        # One C row-gather per side concatenates the label slices —
+        # hub ids and distances together — straight into the workspace.
+        # The sparsetools entry point is private scipy API, so one
+        # rejected call (a future signature change) permanently falls
+        # back to the numpy gathers below.
+        try:
+            key_a = ws.gather[:total_a]
+            key_b = ws.gather[total_a:total]
+            exp_da = ws.dist_a[:total_a]
+            exp_db = ws.dist_b[:total_b]
+            ip32 = _indptr32(indptr)
+            _csr_row_index(
+                num_pairs,
+                np.asarray(left, dtype=np.int32),
+                ip32,
+                hubs,
+                dists,
+                key_a,
+                exp_da,
+            )
+            _csr_row_index(
+                num_pairs,
+                np.asarray(right, dtype=np.int32),
+                ip32,
+                hubs,
+                dists,
+                key_b,
+                exp_db,
+            )
+        except Exception:
+            _DIRECT_GATHER_OK = False
+            key_a = key_b = None
+    if key_a is None:
+        lo_a = indptr[left]
+        ends_a = np.cumsum(cnt_a)
+        lo_b = indptr[right]
+        ends_b = np.cumsum(cnt_b)
+        a_idx = ws.flat[:total_a]
+        b_idx = ws.flat[total_a:total]
+        np.add(
+            ws.iota[:total_a],
+            np.repeat((lo_a - (ends_a - cnt_a)).astype(np.int64), cnt_a),
+            out=a_idx,
+        )
+        np.add(
+            ws.iota[:total_b],
+            np.repeat((lo_b - (ends_b - cnt_b)).astype(np.int64), cnt_b),
+            out=b_idx,
+        )
+        key_a = np.take(hubs, a_idx, out=ws.gather[:total_a], mode="clip")
+        key_b = np.take(hubs, b_idx, out=ws.gather[total_a:total], mode="clip")
+        # Expand the distances too, while the slices stream
+        # contiguously: the post-sort lookups then hit these cache-warm
+        # copies instead of issuing scattered loads into the full CSR.
+        exp_da = np.take(dists, a_idx, out=ws.dist_a[:total_a], mode="clip")
+        exp_db = np.take(dists, b_idx, out=ws.dist_b[:total_b], mode="clip")
+    offsets = np.arange(num_pairs, dtype=np.int32)
+    offsets <<= hub_bits
+    merged = ws.merged[:total]
+    pa = merged[:total_a]
+    pb = merged[total_a:]
+    key_a += np.repeat(offsets, cnt_a)
+    np.multiply(key_a, np.int64(1 << key_shift), out=pa)
+    np.add(pa, ws.iota[:total_a], out=pa)
+    key_b += np.repeat(offsets, cnt_b)
+    np.multiply(key_b, np.int64(1 << key_shift), out=pb)
+    np.add(pb, ws.iota_side[:total_b], out=pb)
+    # Two pre-sorted runs: timsort detects them and merges in one
+    # near-linear pass instead of re-sorting from scratch.
+    merged.sort(kind="stable")
+    keys = ws.shifted[:total]
+    np.right_shift(merged, key_shift, out=keys)
+    eq = ws.eq[: total - 1]
+    np.equal(keys[1:], keys[:-1], out=eq)
+    hit = np.flatnonzero(eq)
+    if hit.size == 0:
+        return out
+    # A key occurs at most once per side (hubs are unique within a
+    # label), so every adjacent-equal run is one left entry and one
+    # right entry — the side marker orders left first.
+    matches = hit.size
+    idx_mask = (1 << idx_bits) - 1
+    pos_a = merged[hit]
+    pos_a &= idx_mask
+    pos_b = merged[1:][hit]
+    pos_b &= idx_mask
+    sums = np.take(exp_da, pos_a, out=ws.matched[:matches], mode="clip")
+    sums += exp_db[pos_b]
+    # The matched key still encodes its pair id above hub_bits; mpair is
+    # non-decreasing (matches are key-ordered), so one reduceat over the
+    # run starts closes the join.
+    mpair = keys[hit]
+    mpair >>= hub_bits
+    run_start = ws.eq[:matches]
+    run_start[0] = True
+    np.not_equal(mpair[1:], mpair[:-1], out=run_start[1:])
+    firsts = np.flatnonzero(run_start)
+    out[mpair[firsts]] = np.minimum.reduceat(sums, firsts)
+    return out
+
+
+def _batch_join_searchsorted(
+    indptr: np.ndarray,
+    hubs: np.ndarray,
+    dists: np.ndarray,
+    out: np.ndarray,
+    a_idx: np.ndarray,
+    cnt_a: np.ndarray,
+    b_idx: np.ndarray,
+    cnt_b: np.ndarray,
+) -> np.ndarray:
+    """Sorted pair-scoped-key fallback join (same answers, no scratch).
+
+    Both sides expand to flat ``pair_id * base + hub`` keys — int32
+    when every key fits — and the right side's keys are globally sorted
+    by construction, so a single :func:`np.searchsorted` finds every
+    shared hub; matches stay grouped by pair, so a segmented
+    :func:`np.minimum.reduceat` closes the join.
+    """
+    num_pairs = len(cnt_a)
+    base = len(indptr)  # > any hub id
+    key_dtype = np.int32 if num_pairs * base < 2**31 else np.int64
+    offsets = (np.arange(num_pairs, dtype=np.int64) * base).astype(key_dtype)
+    key_a = hubs[a_idx].astype(key_dtype, copy=False)
+    key_a += np.repeat(offsets, cnt_a)
+    key_b = hubs[b_idx].astype(key_dtype, copy=False)
+    key_b += np.repeat(offsets, cnt_b)
+    pos = np.minimum(np.searchsorted(key_b, key_a), key_b.size - 1)
+    matched = np.flatnonzero(key_b[pos] == key_a)
+    if matched.size == 0:
+        return out
+    sums = dists[a_idx[matched]] + dists[b_idx[pos[matched]]]
+    # Which pair each matched left entry belongs to: its position's
+    # bracketing slice in the cumulative ends.  mpair is non-decreasing,
+    # so the per-pair minimum is one reduceat over the run starts.
+    mpair = np.searchsorted(np.cumsum(cnt_a), matched, side="right")
+    firsts = np.flatnonzero(np.diff(mpair, prepend=-1))
+    out[mpair[firsts]] = np.minimum.reduceat(sums, firsts)
+    return out
 
 
 def pairwise_label_distances(
@@ -370,6 +690,41 @@ class HierarchyIndexBase:
         node = self._check_node(node)
         with self._scope("query.distance", node=node):
             return self._point_distance(node, int(object_node))
+
+    def distance_batch(self, nodes, object_nodes) -> list[float]:
+        """One distance per aligned ``(nodes[i], object_nodes[i])`` pair.
+
+        Disconnected pairs yield ``math.inf`` — never a per-element
+        exception, so one unreachable pair cannot poison a coalesced
+        batch.  Validation (unknown node, non-object target) still
+        raises for the whole call, before any distance is computed.
+        """
+        nodes = _coerce_batch_nodes(nodes)
+        object_nodes = _coerce_batch_nodes(object_nodes)
+        if len(nodes) != len(object_nodes):
+            raise QueryError(
+                f"distance_batch needs aligned inputs: {len(nodes)} nodes "
+                f"vs {len(object_nodes)} objects"
+            )
+        for object_node in object_nodes:
+            self.dataset.rank(object_node)
+        nodes = [self._check_node(node) for node in nodes]
+        with self._scope("query.distance_batch", count=len(nodes)):
+            return self._distance_batch_values(nodes, object_nodes)
+
+    def _distance_batch_values(
+        self, nodes: list[int], object_nodes: list[int]
+    ) -> list[float]:
+        # Scalar fallback; the hub backend overrides with the vectorized
+        # label-join kernel.  The counters make kernel-vs-scalar traffic
+        # visible on /metrics.
+        self.metrics.counter("query.distance_batch.scalar_pairs").inc(
+            len(nodes)
+        )
+        return [
+            self._point_distance(node, int(object_node))
+            for node, object_node in zip(nodes, object_nodes)
+        ]
 
     def range_query(
         self, node: int, radius: float, *, with_distances: bool = False

@@ -23,13 +23,19 @@ Two query primitives come out of it:
   object-bucket lists both backends use for range/kNN
   (:mod:`repro.backends.base`).
 
-Node ordering is *edge difference with lazy re-evaluation*: the priority
-of a node is (shortcuts its contraction would insert) − (edges it
-removes) + (already-contracted former neighbors, which spreads the
-contraction evenly).  Priorities are kept in a heap and re-evaluated
-only when popped — if the fresh value no longer beats the runner-up the
-node is pushed back, otherwise it is contracted with the (possibly
-slightly stale) witness information recomputed on the spot.
+Node ordering is *edge difference over independent-set rounds*: the
+priority of a node is (shortcuts its contraction would insert) − (edges
+it removes) + (already-contracted former neighbors, which spreads the
+contraction evenly).  Each round selects every live node that is the
+strict minimum of ``priority`` (ties broken by node id) over its closed
+two-hop neighborhood — a set whose members provably have pairwise
+disjoint closed neighborhoods, so their witness searches read the same
+frozen round-start graph and their contractions commute.  That is what
+makes the build parallel: witness searches fan out over a fork pool
+(:mod:`repro.backends.parallel`), results merge in ascending priority
+order, and the shortcut set, node order, and every output array are
+bit-identical for any worker count — ``workers=1`` runs the identical
+round algorithm inline.
 
 Everything is exact: witness searches are *bounded* (settle cap) which
 may only insert redundant shortcuts, never miss a needed one, and
@@ -40,7 +46,7 @@ provably not a shortest path.
 from __future__ import annotations
 
 import math
-from heapq import heapify, heappop, heappush
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -49,16 +55,23 @@ from repro.backends.base import (
     HierarchyIndexBase,
     pairwise_label_distances,
 )
+from repro.backends.parallel import FanoutRunner
 from repro.core.signature import ObjectDistanceTable
 from repro.network.graph import RoadNetwork
+from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.tracing import Tracer
 
 __all__ = ["CHIndex", "ContractionHierarchy"]
 
 #: Witness searches give up after settling this many nodes.  A missed
 #: witness only costs one redundant shortcut (correctness is unaffected),
-#: so the cap trades preprocessing time against upward-graph size.
+#: so the cap trades preprocessing time against upward-graph size.  It is
+#: a build parameter — ``build(settle_cap=...)``, surfaced through
+#: ``repro build --settle-cap`` — persisted with the index so rebuilds
+#: keep the choice.
 WITNESS_SETTLE_CAP = 60
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 def _witness_distances(
@@ -101,6 +114,44 @@ def _witness_distances(
     return found
 
 
+def _shortcuts_for(
+    adj: list[dict[int, float]],
+    contracted: np.ndarray,
+    v: int,
+    settle_cap: int,
+) -> tuple[list[tuple[int, int, float]], int]:
+    """Shortcuts contraction of ``v`` needs (u < w, both live), plus
+    ``v``'s live degree (the witness work already enumerates it)."""
+    neighbors = [
+        (u, weight) for u, weight in adj[v].items() if not contracted[u]
+    ]
+    needed: list[tuple[int, int, float]] = []
+    for i, (u, wu) in enumerate(neighbors):
+        targets = {w for w, _ in neighbors[i + 1:]}
+        if not targets:
+            continue
+        bound = wu + max(ww for w, ww in neighbors[i + 1:])
+        witness = _witness_distances(
+            adj, contracted, u, v, targets, bound, settle_cap
+        )
+        for w, ww in neighbors[i + 1:]:
+            through = wu + ww
+            if witness.get(w, math.inf) > through:
+                needed.append((u, w, through))
+    return needed, len(neighbors)
+
+
+def _shortcut_chunk(state, nodes):
+    """Fan-out work function: witness searches for a chunk of nodes."""
+    adj, contracted, settle_cap = state
+    out = []
+    for v in nodes:
+        v = int(v)
+        shortcuts, live_degree = _shortcuts_for(adj, contracted, v, settle_cap)
+        out.append((v, shortcuts, live_degree))
+    return out
+
+
 class ContractionHierarchy:
     """The preprocessed hierarchy: contraction order plus upward CSR.
 
@@ -134,13 +185,17 @@ class ContractionHierarchy:
         self.up_targets = up_targets
         self.up_weights = up_weights
         self.num_shortcuts = int(num_shortcuts)
+        # Build provenance; overwritten by build(), defaults for
+        # hierarchies restored from disk.
+        self.settle_cap = WITNESS_SETTLE_CAP
+        self.build_workers = 1
+        self.rounds: int | None = None
+        self.parallel_efficiency: float | None = None
         self.bind_metrics(metrics)
 
     def bind_metrics(self, metrics) -> None:
         """Bind (or rebind) the ``backend.ch.settled`` counter."""
         if metrics is None:
-            from repro.obs.metrics import NULL_REGISTRY
-
             metrics = NULL_REGISTRY
         self._metric_settled = metrics.counter("backend.ch.settled")
 
@@ -153,15 +208,39 @@ class ContractionHierarchy:
         network: RoadNetwork,
         *,
         settle_cap: int = WITNESS_SETTLE_CAP,
+        workers: int = 1,
+        parallel_threshold: int | None = None,
         metrics=None,
     ) -> "ContractionHierarchy":
         """Contract every node of ``network`` and assemble the upward CSR.
 
-        Edge-difference ordering with lazy re-evaluation; witness
-        searches bounded by ``settle_cap``.  Parallel edges (possible
-        when a shortcut doubles an original edge) keep the minimum
-        weight, so the upward graph stays simple.
+        Round-based edge-difference ordering: every round (1) refreshes
+        priority + shortcut candidates for nodes whose neighborhood
+        changed, (2) selects the independent set of strict two-hop
+        priority minima with one vectorized pass over the live edge
+        list, (3) recomputes witnesses for any selected node whose
+        candidates predate this round (an old witness path may route
+        through since-contracted nodes), and (4) contracts the whole set
+        in ascending priority order.  Selected nodes have pairwise
+        disjoint closed neighborhoods, so steps (1) and (3) read a
+        frozen snapshot and fan out across ``workers`` fork processes
+        with bit-identical results for any worker count.
+
+        Witness searches are bounded by ``settle_cap``.  Parallel edges
+        (possible when a shortcut doubles an original edge) keep the
+        minimum weight, so the upward graph stays simple.
         """
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        workers = max(1, int(workers))
+        runner = FanoutRunner(
+            workers,
+            parallel_threshold,
+            fallback_counter=registry.counter(
+                "backend.ch.contract.serial_fallback"
+            ),
+        )
+        round_sizes = registry.histogram("backend.ch.contract.round_size")
+
         n = network.num_nodes
         adj: list[dict[int, float]] = [dict() for _ in range(n)]
         for node in range(n):
@@ -169,75 +248,114 @@ class ContractionHierarchy:
                 current = adj[node].get(neighbor)
                 if current is None or weight < current:
                     adj[node][neighbor] = weight
+        # Live undirected edges, one row per edge; compacted every round
+        # so the vectorized independent-set pass scans only live pairs.
+        edge_u = np.array(
+            [v for v in range(n) for u in adj[v] if v < u], dtype=np.int64
+        )
+        edge_v = np.array(
+            [u for v in range(n) for u in adj[v] if v < u], dtype=np.int64
+        )
         contracted = np.zeros(n, dtype=bool)
-        deleted_neighbors = np.zeros(n, dtype=np.int32)
+        deleted_neighbors = np.zeros(n, dtype=np.int64)
         order = np.zeros(n, dtype=np.int32)
         up_edges: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         num_shortcuts = 0
+        priorities = np.zeros(n, dtype=np.int64)
+        cached: list[list[tuple[int, int, float]] | None] = [None] * n
+        stamp = np.full(n, -1, dtype=np.int64)
+        dirty = np.ones(n, dtype=bool)
+        node_ids = np.arange(n, dtype=np.int64)
 
-        def shortcuts_for(v: int) -> list[tuple[int, int, float]]:
-            """Shortcuts contraction of ``v`` needs (u < w, both live)."""
-            neighbors = [
-                (u, weight)
-                for u, weight in adj[v].items()
-                if not contracted[u]
-            ]
-            needed: list[tuple[int, int, float]] = []
-            for i, (u, wu) in enumerate(neighbors):
-                targets = {w for w, _ in neighbors[i + 1:]}
-                if not targets:
-                    continue
-                bound = wu + max(ww for w, ww in neighbors[i + 1:])
-                witness = _witness_distances(
-                    adj, contracted, u, v, targets, bound, settle_cap
-                )
-                for w, ww in neighbors[i + 1:]:
-                    through = wu + ww
-                    if witness.get(w, math.inf) > through:
-                        needed.append((u, w, through))
-            return needed
-
-        def priority_of(v: int) -> float:
-            return (
-                len(shortcuts_for(v))
-                - sum(1 for u in adj[v] if not contracted[u])
-                + int(deleted_neighbors[v])
-            )
-
-        heap: list[tuple[float, int]] = [
-            (priority_of(v), v) for v in range(n)
-        ]
-        heapify(heap)
         rank = 0
-        while heap:
-            priority, v = heappop(heap)
-            if contracted[v]:
-                continue
-            # Lazy re-evaluation: the popped priority may predate nearby
-            # contractions.  Recompute; requeue unless it still wins.
-            fresh = priority_of(v)
-            if heap and fresh > heap[0][0]:
-                heappush(heap, (fresh, v))
-                continue
-            shortcuts = shortcuts_for(v)
-            live = [
-                (u, weight)
-                for u, weight in adj[v].items()
-                if not contracted[u]
-            ]
-            up_edges[v] = live
-            for u, _ in live:
-                deleted_neighbors[u] += 1
-            for u, w, weight in shortcuts:
-                existing = adj[u].get(w)
-                if existing is None or weight < existing:
-                    adj[u][w] = weight
-                    adj[w][u] = weight
-                    if existing is None:
-                        num_shortcuts += 1
-            contracted[v] = True
-            order[v] = rank
-            rank += 1
+        rounds = 0
+        while rank < n:
+            rounds += 1
+            # Phase A: refresh candidates for nodes whose neighborhood
+            # changed since their last evaluation.
+            evaluate = np.flatnonzero(dirty & ~contracted)
+            state = (adj, contracted, settle_cap)
+            for v, shortcuts, live_degree in runner.run(
+                _shortcut_chunk, state, evaluate.tolist()
+            ):
+                cached[v] = shortcuts
+                stamp[v] = rounds
+                priorities[v] = (
+                    len(shortcuts) - live_degree + int(deleted_neighbors[v])
+                )
+            # Vectorized independent-set selection.  key encodes
+            # (priority, node id) in one int64; a node is selected iff
+            # its key is the minimum over its *closed two-hop*
+            # neighborhood, which two minimum-scatter passes over the
+            # live edge list compute exactly.  Keys are unique, so two
+            # selected nodes can never be adjacent or share a neighbor:
+            # their closed neighborhoods are disjoint and their
+            # contractions commute.
+            key = priorities * np.int64(n + 1) + node_ids
+            key[contracted] = _INT64_MAX
+            n2 = np.full(n, _INT64_MAX, dtype=np.int64)
+            if edge_u.size:
+                n1 = np.full(n, _INT64_MAX, dtype=np.int64)
+                np.minimum.at(n1, edge_u, key[edge_v])
+                np.minimum.at(n1, edge_v, key[edge_u])
+                best1 = np.minimum(key, n1)
+                np.minimum.at(n2, edge_u, best1[edge_v])
+                np.minimum.at(n2, edge_v, best1[edge_u])
+            sel = np.flatnonzero(~contracted & (key <= n2))
+            sel = sel[np.argsort(key[sel], kind="stable")]
+            round_sizes.observe(len(sel))
+            # Phase B: selected nodes carrying candidates from an
+            # earlier round must recompute them against this round's
+            # graph — an old witness may have routed through a node
+            # contracted since, whose replacement path uses v itself.
+            stale = [int(v) for v in sel if stamp[v] != rounds]
+            if stale:
+                for v, shortcuts, _ in runner.run(
+                    _shortcut_chunk, state, stale
+                ):
+                    cached[v] = shortcuts
+                    stamp[v] = rounds
+            # Merge: contract in ascending key order.  Disjoint closed
+            # neighborhoods mean nothing below reads state another
+            # selected node wrote, so the result is order-independent —
+            # the fixed order only pins the rank numbering.
+            dirty[:] = False
+            new_u: list[int] = []
+            new_v: list[int] = []
+            for v in sel:
+                v = int(v)
+                live = [
+                    (u, weight)
+                    for u, weight in adj[v].items()
+                    if not contracted[u]
+                ]
+                up_edges[v] = live
+                for u, _ in live:
+                    deleted_neighbors[u] += 1
+                    dirty[u] = True
+                for u, w, weight in cached[v]:
+                    existing = adj[u].get(w)
+                    if existing is None or weight < existing:
+                        adj[u][w] = weight
+                        adj[w][u] = weight
+                        if existing is None:
+                            num_shortcuts += 1
+                            new_u.append(u)
+                            new_v.append(w)
+                contracted[v] = True
+                order[v] = rank
+                rank += 1
+            if edge_u.size:
+                keep = ~(contracted[edge_u] | contracted[edge_v])
+                edge_u = edge_u[keep]
+                edge_v = edge_v[keep]
+            if new_u:
+                edge_u = np.concatenate(
+                    [edge_u, np.asarray(new_u, dtype=np.int64)]
+                )
+                edge_v = np.concatenate(
+                    [edge_v, np.asarray(new_v, dtype=np.int64)]
+                )
 
         indptr = np.zeros(n + 1, dtype=np.int64)
         for v in range(n):
@@ -249,9 +367,18 @@ class ContractionHierarchy:
             for offset, (u, weight) in enumerate(up_edges[v]):
                 targets[start + offset] = u
                 weights[start + offset] = weight
-        return cls(
+        hierarchy = cls(
             order, indptr, targets, weights, num_shortcuts, metrics=metrics
         )
+        hierarchy.settle_cap = int(settle_cap)
+        hierarchy.build_workers = workers
+        hierarchy.rounds = rounds
+        hierarchy.parallel_efficiency = runner.efficiency()
+        registry.gauge("backend.ch.contract.rounds").set(rounds)
+        registry.gauge("backend.ch.contract.parallel_efficiency").set(
+            hierarchy.parallel_efficiency
+        )
+        return hierarchy
 
     # ------------------------------------------------------------------
     # queries
@@ -412,9 +539,13 @@ class CHIndex(HierarchyIndexBase):
         object_table,
         buckets,
         *,
+        settle_cap: int = WITNESS_SETTLE_CAP,
+        build_workers: int = 1,
         metrics=None,
     ) -> None:
         self.hierarchy = hierarchy
+        self.settle_cap = int(settle_cap)
+        self.build_workers = max(1, int(build_workers))
         super().__init__(
             network, dataset, partition, object_table, buckets,
             metrics=metrics,
@@ -427,9 +558,16 @@ class CHIndex(HierarchyIndexBase):
         dataset,
         *,
         settle_cap: int = WITNESS_SETTLE_CAP,
+        workers: int = 1,
+        parallel_threshold: int | None = None,
         metrics=None,
     ) -> "CHIndex":
         """Contract the network, then bucket the object search spaces.
+
+        ``workers`` parallelizes the contraction's witness searches
+        (bit-identical output for any count); ``settle_cap`` bounds each
+        witness search.  Both are persisted with the index and reused on
+        §5.4 rebuilds.
 
         The build trace (``index.build_trace``) carries one span per
         phase — ``build.contract``, ``build.buckets``,
@@ -441,7 +579,11 @@ class CHIndex(HierarchyIndexBase):
         with trace.span("build.ch", nodes=network.num_nodes):
             with trace.span("build.contract") as span:
                 hierarchy = ContractionHierarchy.build(
-                    network, settle_cap=settle_cap, metrics=metrics
+                    network,
+                    settle_cap=settle_cap,
+                    workers=workers,
+                    parallel_threshold=parallel_threshold,
+                    metrics=metrics,
                 )
                 span.set("shortcuts", hierarchy.num_shortcuts)
             with trace.span("build.buckets") as span:
@@ -459,7 +601,7 @@ class CHIndex(HierarchyIndexBase):
                 )
         index = cls(
             network, dataset, hierarchy, partition, object_table, buckets,
-            metrics=metrics,
+            settle_cap=settle_cap, build_workers=workers, metrics=metrics,
         )
         index._record_build_trace(trace)
         return index
@@ -478,6 +620,7 @@ class CHIndex(HierarchyIndexBase):
     # ------------------------------------------------------------------
     def _bind_backend_metrics(self, registry) -> None:
         self.hierarchy.bind_metrics(registry)
+        registry.gauge("backend.ch.build.workers").set(self.build_workers)
 
     def _forward_entries(self, node: int):
         return self.hierarchy.search_space(node)
@@ -487,7 +630,11 @@ class CHIndex(HierarchyIndexBase):
 
     def _rebuild(self) -> None:
         rebuilt = type(self).build(
-            self.network, self.dataset, metrics=self.metrics
+            self.network,
+            self.dataset,
+            settle_cap=self.settle_cap,
+            workers=self.build_workers,
+            metrics=self.metrics,
         )
         self.hierarchy = rebuilt.hierarchy
         self.buckets = rebuilt.buckets
@@ -502,4 +649,8 @@ class CHIndex(HierarchyIndexBase):
         report = super().stats()
         report["shortcuts"] = self.hierarchy.num_shortcuts
         report["upward_edges"] = self.hierarchy.num_upward_edges
+        report["settle_cap"] = self.settle_cap
+        report["build_workers"] = self.build_workers
+        if self.hierarchy.rounds is not None:
+            report["contraction_rounds"] = self.hierarchy.rounds
         return report

@@ -12,17 +12,26 @@ Zhu et al.).
 
 Construction: labels are the *stalled upward search spaces* of
 :class:`~repro.backends.ch.ContractionHierarchy`, pruned of
-overestimates.  Nodes are processed in descending contraction rank, so
-every hub in ``v``'s search space (all higher-ranked) already has a
-final label; an entry ``(h, d)`` survives iff joining the search space
-against ``L(h)`` cannot beat ``d`` — i.e. iff ``d`` is the exact
-distance to ``h``.  Pruning only removes entries that were never
-shortest-path witnesses, so the cover property is inherited from the
-search spaces.
+overestimates.  Once ranks are fixed the distillation is embarrassingly
+parallel, in two phases: (1) every node's search space — independent
+upward sweeps, fanned out over a fork pool and concatenated into one
+CSR in node order; (2) per-entry pruning, where ``(h, d)`` survives iff
+joining ``v``'s space against ``h``'s *space* cannot beat ``d``.  A
+search space is itself a valid hub label, so that join already equals
+the exact distance ``d(v, h)`` — the keep rule is "the entry is exact",
+the same set the classic prune-against-finished-labels recurrence keeps
+— which removes the rank-order data dependency between nodes: phase (2)
+is one :func:`~repro.backends.base.batch_label_join_csr` kernel call
+per node against the shared phase-(1) CSR, trivially parallel and
+bit-identical for any worker count.  Pruning only removes entries that
+were never shortest-path witnesses, so the cover property is inherited
+from the search spaces.
 
 ``distance()`` is then a sorted-merge intersection of two label slices —
-no graph traversal at all — which is what buys the order-of-magnitude
-qps gap over both other backends (``BENCH_backends.json``).
+no graph traversal at all — and ``distance_batch()`` runs the same join
+for a whole batch in one vectorized kernel pass, which is what buys the
+order-of-magnitude qps gap over both other backends
+(``BENCH_backends.json``, ``BENCH_scale.json``).
 """
 
 from __future__ import annotations
@@ -32,54 +41,106 @@ import numpy as np
 from repro.backends.base import (
     BucketLists,
     HierarchyIndexBase,
+    batch_label_join_csr,
     label_join,
     pairwise_label_distances,
 )
 from repro.backends.ch import WITNESS_SETTLE_CAP, ContractionHierarchy
+from repro.backends.parallel import FanoutRunner
 from repro.core.signature import ObjectDistanceTable
 from repro.network.graph import RoadNetwork
+from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.tracing import Tracer
 
 __all__ = ["HubLabelIndex", "build_labels"]
 
 
+def _space_chunk(state, nodes):
+    """Fan-out work function: stalled search spaces for a node chunk."""
+    hierarchy = state
+    return [hierarchy.search_space(int(v)) for v in nodes]
+
+
+def _prune_chunk(state, nodes):
+    """Fan-out work function: exactness pruning for a node chunk.
+
+    ``state`` is the phase-(1) search-space CSR.  Each node's entries
+    are kept iff the vectorized join of its space against every hub's
+    space cannot beat the stored distance — i.e. the distance is exact.
+    """
+    indptr, hubs, dists = state
+    out = []
+    for v in nodes:
+        v = int(v)
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        entry_hubs = hubs[lo:hi]
+        entry_dists = dists[lo:hi]
+        if hi - lo == 0:
+            out.append((entry_hubs, entry_dists))
+            continue
+        exact = batch_label_join_csr(
+            indptr,
+            hubs,
+            dists,
+            np.full(hi - lo, v, dtype=np.int64),
+            entry_hubs.astype(np.int64),
+        )
+        keep = ~(exact < entry_dists)
+        out.append((entry_hubs[keep], entry_dists[keep]))
+    return out
+
+
 def build_labels(
     hierarchy: ContractionHierarchy,
+    *,
+    workers: int = 1,
+    parallel_threshold: int | None = None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Pruned hub labels for every node, as one CSR.
 
     Returns ``(label_indptr, label_hubs, label_dists)``; node ``v``'s
     label is the slice ``label_indptr[v]:label_indptr[v+1]``, sorted by
-    hub id with exact distances.
+    hub id with exact distances.  ``workers`` fans both phases out over
+    fork processes; the arrays are bit-identical for any worker count
+    (``workers=1`` runs the identical per-node code inline).
     """
-    n = hierarchy.num_nodes
-    labels: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n
-    # Descending rank: every hub a search space reaches is higher-ranked
-    # than its source, so its pruned label is already final when needed.
-    for node in reversed(np.argsort(hierarchy.order)):
-        node = int(node)
-        hubs, dists = hierarchy.search_space(node)
-        keep = np.ones(len(hubs), dtype=bool)
-        for i in range(len(hubs)):
-            hub = int(hubs[i])
-            if hub == node:
-                continue  # the self entry (v, 0) is always exact
-            hub_hubs, hub_dists = labels[hub]
-            if label_join(hubs, dists, hub_hubs, hub_dists) < dists[i]:
-                keep[i] = False  # provably an overestimate — never needed
-        labels[node] = (hubs[keep], dists[keep])
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    for node in range(n):
-        indptr[node + 1] = indptr[node] + len(labels[node][0])
-    label_hubs = (
-        np.concatenate([hubs for hubs, _ in labels])
-        if n
-        else np.zeros(0, dtype=np.int32)
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    runner = FanoutRunner(
+        workers,
+        parallel_threshold,
+        fallback_counter=registry.counter(
+            "backend.hub.labels.serial_fallback"
+        ),
     )
-    label_dists = (
-        np.concatenate([dists for _, dists in labels])
-        if n
-        else np.zeros(0, dtype=np.float64)
+    n = hierarchy.num_nodes
+    node_range = list(range(n))
+    # Phase 1: every search space, concatenated into one CSR in node
+    # order (per-node sweeps are independent once ranks are fixed).
+    spaces = runner.run(_space_chunk, hierarchy, node_range)
+    sp_indptr = np.zeros(n + 1, dtype=np.int64)
+    if n:
+        np.cumsum([len(hubs) for hubs, _ in spaces], out=sp_indptr[1:])
+        sp_hubs = np.concatenate([hubs for hubs, _ in spaces])
+        sp_dists = np.concatenate([dists for _, dists in spaces])
+    else:
+        sp_hubs = np.zeros(0, dtype=np.int32)
+        sp_dists = np.zeros(0, dtype=np.float64)
+    del spaces
+    # Phase 2: per-node exactness pruning against the shared CSR.
+    pruned = runner.run(
+        _prune_chunk, (sp_indptr, sp_hubs, sp_dists), node_range
+    )
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if n:
+        np.cumsum([len(hubs) for hubs, _ in pruned], out=indptr[1:])
+        label_hubs = np.concatenate([hubs for hubs, _ in pruned])
+        label_dists = np.concatenate([dists for _, dists in pruned])
+    else:
+        label_hubs = np.zeros(0, dtype=np.int32)
+        label_dists = np.zeros(0, dtype=np.float64)
+    registry.gauge("backend.hub.labels.parallel_efficiency").set(
+        runner.efficiency()
     )
     return indptr, label_hubs.astype(np.int32), label_dists
 
@@ -110,12 +171,16 @@ class HubLabelIndex(HierarchyIndexBase):
         object_table,
         buckets,
         *,
+        settle_cap: int = WITNESS_SETTLE_CAP,
+        build_workers: int = 1,
         metrics=None,
     ) -> None:
         self.order = order
         self.label_indptr = label_indptr
         self.label_hubs = label_hubs
         self.label_dists = label_dists
+        self.settle_cap = int(settle_cap)
+        self.build_workers = max(1, int(build_workers))
         super().__init__(
             network, dataset, partition, object_table, buckets,
             metrics=metrics,
@@ -128,9 +193,16 @@ class HubLabelIndex(HierarchyIndexBase):
         dataset,
         *,
         settle_cap: int = WITNESS_SETTLE_CAP,
+        workers: int = 1,
+        parallel_threshold: int | None = None,
         metrics=None,
     ) -> "HubLabelIndex":
         """Contract, distill labels, bucket the object labels.
+
+        ``workers`` parallelizes both the contraction's witness searches
+        and the label distillation (bit-identical output for any count);
+        ``settle_cap`` bounds each witness search.  Both persist with
+        the index and are reused on §5.4 rebuilds.
 
         Build phases — ``build.contract``, ``build.labels``,
         ``build.buckets``, ``build.object_table`` — land on
@@ -141,11 +213,20 @@ class HubLabelIndex(HierarchyIndexBase):
         with trace.span("build.hub", nodes=network.num_nodes):
             with trace.span("build.contract") as span:
                 hierarchy = ContractionHierarchy.build(
-                    network, settle_cap=settle_cap, metrics=metrics
+                    network,
+                    settle_cap=settle_cap,
+                    workers=workers,
+                    parallel_threshold=parallel_threshold,
+                    metrics=metrics,
                 )
                 span.set("shortcuts", hierarchy.num_shortcuts)
             with trace.span("build.labels") as span:
-                indptr, hubs, dists = build_labels(hierarchy)
+                indptr, hubs, dists = build_labels(
+                    hierarchy,
+                    workers=workers,
+                    parallel_threshold=parallel_threshold,
+                    metrics=metrics,
+                )
                 span.set("entries", len(hubs))
             with trace.span("build.buckets") as span:
                 entries = [
@@ -165,7 +246,8 @@ class HubLabelIndex(HierarchyIndexBase):
                 )
         index = cls(
             network, dataset, hierarchy.order, indptr, hubs, dists,
-            partition, object_table, buckets, metrics=metrics,
+            partition, object_table, buckets,
+            settle_cap=settle_cap, build_workers=workers, metrics=metrics,
         )
         index._record_build_trace(trace)
         return index
@@ -190,6 +272,7 @@ class HubLabelIndex(HierarchyIndexBase):
         registry.gauge("backend.hub.label_entries").set(
             self.num_label_entries
         )
+        registry.gauge("backend.hub.build.workers").set(self.build_workers)
 
     def _forward_entries(self, node: int):
         lo = int(self.label_indptr[node])
@@ -201,9 +284,31 @@ class HubLabelIndex(HierarchyIndexBase):
         hubs_b, dists_b = self._forward_entries(target)
         return label_join(hubs_a, dists_a, hubs_b, dists_b)
 
+    def _distance_batch_values(
+        self, nodes: list[int], object_nodes: list[int]
+    ) -> list[float]:
+        # The whole batch in one vectorized label-join pass — the same
+        # minimum over the same shared-hub sums the scalar sorted-merge
+        # computes, so answers are bit-identical.
+        self.metrics.counter("query.distance_batch.kernel_pairs").inc(
+            len(nodes)
+        )
+        joined = batch_label_join_csr(
+            self.label_indptr,
+            self.label_hubs,
+            self.label_dists,
+            np.asarray(nodes, dtype=np.int64),
+            np.asarray(object_nodes, dtype=np.int64),
+        )
+        return [float(value) for value in joined]
+
     def _rebuild(self) -> None:
         rebuilt = type(self).build(
-            self.network, self.dataset, metrics=self.metrics
+            self.network,
+            self.dataset,
+            settle_cap=self.settle_cap,
+            workers=self.build_workers,
+            metrics=self.metrics,
         )
         self.order = rebuilt.order
         self.label_indptr = rebuilt.label_indptr
@@ -232,4 +337,6 @@ class HubLabelIndex(HierarchyIndexBase):
             if self.network.num_nodes
             else 0.0
         )
+        report["settle_cap"] = self.settle_cap
+        report["build_workers"] = self.build_workers
         return report

@@ -1,0 +1,115 @@
+"""Fork-based fan-out for the backend builders.
+
+Both hierarchy builders (:mod:`repro.backends.ch`,
+:mod:`repro.backends.hub_labels`) have phases of the shape "run a pure
+function over many node ids against large shared read-only state".  The
+idiom here is the same as ``core/builder.py``'s ``python-parallel``
+sweep backend: the state is published through module globals and the
+pool uses the ``fork`` start method, so workers inherit it copy-on-write
+instead of pickling it per task — only the small id chunks and the
+per-node results cross the process boundary.
+
+Work functions have the signature ``fn(state, items) -> list`` with one
+output element per input item, which makes the inline path and the
+pooled path interchangeable: :class:`FanoutRunner` calls the same
+function either way, so a serial build (``workers=1``) and a parallel
+build run *identical* per-item code and produce identical results by
+construction.  When the platform cannot run a fork pool the runner
+falls back to inline execution once, increments its fallback counter,
+and never retries.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+__all__ = ["DEFAULT_PARALLEL_THRESHOLD", "FanoutRunner", "fanout_chunks"]
+
+#: Below this many items a phase runs inline: forking a pool costs more
+#: than the witness/label work it would spread.
+DEFAULT_PARALLEL_THRESHOLD = 64
+
+# Published for forked children (copy-on-write); never pickled.
+_STATE = None
+_FN = None
+
+
+def _run_chunk(chunk):
+    started = time.perf_counter()
+    out = _FN(_STATE, chunk)
+    return time.perf_counter() - started, out
+
+
+def fanout_chunks(fn, state, items, workers):
+    """Run ``fn(state, chunk)`` over chunks of ``items`` in a fork pool.
+
+    Returns ``(busy_seconds, results)`` with ``results`` flattened in
+    input order, or ``None`` when the pool could not run (no fork
+    support, resource limits, a dead worker) — the caller then falls
+    back to inline execution.
+    """
+    global _STATE, _FN
+    chunk = max(1, math.ceil(len(items) / (workers * 4)))
+    chunks = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+    _STATE, _FN = state, fn
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            outputs = list(pool.map(_run_chunk, chunks))
+    except (OSError, PermissionError, ValueError, BrokenExecutor):
+        return None
+    finally:
+        _STATE = _FN = None
+    busy = sum(seconds for seconds, _ in outputs)
+    return busy, [item for _, out in outputs for item in out]
+
+
+class FanoutRunner:
+    """Dispatches phase work inline or across a fork pool.
+
+    Tracks worker-busy versus pool wall time so builders can report
+    parallel efficiency (busy / (wall * workers)); phases that never
+    engaged the pool report 1.0 (all work done by the one configured
+    lane, nothing wasted).
+    """
+
+    def __init__(self, workers, threshold=None, *, fallback_counter=None):
+        self.workers = max(1, int(workers))
+        self.threshold = (
+            DEFAULT_PARALLEL_THRESHOLD if threshold is None else int(threshold)
+        )
+        self.busy_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.pool_runs = 0
+        self.pool_ok = self.workers > 1
+        self._fallback_counter = fallback_counter
+
+    def run(self, fn, state, items) -> list:
+        """``fn(state, items)`` results, computed inline or pooled."""
+        items = list(items)
+        if self.pool_ok and len(items) >= self.threshold:
+            started = time.perf_counter()
+            got = fanout_chunks(fn, state, items, self.workers)
+            if got is not None:
+                busy, results = got
+                self.busy_seconds += busy
+                self.wall_seconds += time.perf_counter() - started
+                self.pool_runs += 1
+                return results
+            self.pool_ok = False
+            if self._fallback_counter is not None:
+                self._fallback_counter.inc()
+        return fn(state, items)
+
+    def efficiency(self) -> float:
+        """Worker utilization over the pooled portion of the phase."""
+        if not self.pool_runs or self.wall_seconds <= 0.0:
+            return 1.0
+        return min(
+            1.0, self.busy_seconds / (self.wall_seconds * self.workers)
+        )

@@ -37,7 +37,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.backends.base import BucketLists
-from repro.backends.ch import CHIndex, ContractionHierarchy
+from repro.backends.ch import (
+    WITNESS_SETTLE_CAP,
+    CHIndex,
+    ContractionHierarchy,
+)
 from repro.backends.hub_labels import HubLabelIndex
 from repro.core.categories import CategoryPartition
 from repro.core.persistence import register_backend_io
@@ -198,7 +202,11 @@ def save_ch_index(index: CHIndex, directory: str | Path) -> None:
     )
     _write_meta(
         directory, CH_MAGIC, index,
-        [f"num_shortcuts {hierarchy.num_shortcuts}"],
+        [
+            f"num_shortcuts {hierarchy.num_shortcuts}",
+            f"settle_cap {index.settle_cap}",
+            f"build_workers {index.build_workers}",
+        ],
     )
 
 
@@ -224,6 +232,12 @@ def load_ch_index(directory: Path, meta: dict[str, str]) -> CHIndex:
         arrays["up_weights"],
         int(meta.get("num_shortcuts", 0)),
     )
+    # Older snapshots predate the settle_cap/build_workers meta lines;
+    # default to the historical constants.
+    settle_cap = int(meta.get("settle_cap", WITNESS_SETTLE_CAP))
+    build_workers = int(meta.get("build_workers", 1))
+    hierarchy.settle_cap = settle_cap
+    hierarchy.build_workers = build_workers
     return CHIndex(
         network,
         dataset,
@@ -231,6 +245,8 @@ def load_ch_index(directory: Path, meta: dict[str, str]) -> CHIndex:
         partition,
         _object_table(arrays, partition, len(dataset), directory),
         _buckets_from(arrays, network.num_nodes, directory),
+        settle_cap=settle_cap,
+        build_workers=build_workers,
     )
 
 
@@ -253,7 +269,13 @@ def save_hub_index(index: HubLabelIndex, directory: str | Path) -> None:
             "object_distances": index.object_table.matrix_view(),
         },
     )
-    _write_meta(directory, HUB_MAGIC, index, [])
+    _write_meta(
+        directory, HUB_MAGIC, index,
+        [
+            f"settle_cap {index.settle_cap}",
+            f"build_workers {index.build_workers}",
+        ],
+    )
 
 
 def load_hub_index(directory: Path, meta: dict[str, str]) -> HubLabelIndex:
@@ -281,6 +303,8 @@ def load_hub_index(directory: Path, meta: dict[str, str]) -> HubLabelIndex:
         partition,
         _object_table(arrays, partition, len(dataset), directory),
         _buckets_from(arrays, network.num_nodes, directory),
+        settle_cap=int(meta.get("settle_cap", WITNESS_SETTLE_CAP)),
+        build_workers=int(meta.get("build_workers", 1)),
     )
 
 

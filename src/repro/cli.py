@@ -8,6 +8,7 @@ repro generate-dataset net.txt objects.txt --density 0.01 --seed 1
 repro partition net.txt --shards 4
 repro build net.txt objects.txt index_dir --partition optimal
 repro build net.txt objects.txt index_dir --shards 4
+repro build usa.gr objects.txt index_dir --backend hub --build-workers 4
 repro info index_dir
 repro query index_dir knn --node 42 --k 5
 repro query index_dir range --node 42 --radius 50
@@ -145,6 +146,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "build a sharded index over this many network partitions "
             "(1 = monolithic, the default); persisted as format v3"
+        ),
+    )
+    build.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        dest="build_workers",
+        help=(
+            "processes used during construction (ch/hub: witness "
+            "searches and label distillation; signature: per-object "
+            "trees); output is bit-identical for any worker count"
+        ),
+    )
+    build.add_argument(
+        "--settle-cap",
+        type=int,
+        default=None,
+        dest="settle_cap",
+        help=(
+            "ch/hub only: max settled nodes per witness search (default "
+            "60); lower builds faster with more redundant shortcuts"
         ),
     )
     build.add_argument(
@@ -409,8 +431,17 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _load_build_network(path: str):
+    """Load a network file for ``repro build``, sniffing DIMACS ``.gr``."""
+    if path.endswith((".gr", ".gr.gz")):
+        from repro.network.dimacs import load_dimacs
+
+        return load_dimacs(path)
+    return load_network(path)
+
+
 def _cmd_build(args) -> int:
-    network = load_network(args.network)
+    network = _load_build_network(args.network)
     dataset = load_dataset(args.dataset)
     if args.backend != "signature":
         from repro.backends import build_backend
@@ -421,7 +452,12 @@ def _cmd_build(args) -> int:
                 f"--backend {args.backend} does not support --shards; "
                 "sharding is a signature-index feature"
             )
-        index = build_backend(args.backend, network, dataset)
+        build_kwargs = {"workers": args.build_workers}
+        if args.settle_cap is not None:
+            build_kwargs["settle_cap"] = args.settle_cap
+        index = build_backend(
+            args.backend, network, dataset, **build_kwargs
+        )
         save_index(index, args.index_dir)
         stats = index.stats()
         extra = (
@@ -432,9 +468,18 @@ def _cmd_build(args) -> int:
         print(
             f"built {args.backend} index in {args.index_dir}: "
             f"{stats['nodes']} nodes, {stats['objects']} objects, "
-            f"{extra}, {stats['index_bytes']} index bytes"
+            f"{extra}, {stats['index_bytes']} index bytes "
+            f"(settle_cap={stats['settle_cap']}, "
+            f"workers={stats['build_workers']})"
         )
         return 0
+    if args.settle_cap is not None:
+        from repro.errors import QueryError
+
+        raise QueryError(
+            "--settle-cap is a ch/hub build parameter; the signature "
+            "backend has no witness searches"
+        )
     partition = args.partition
     if partition == "empirical":
         from repro.analysis.empirical import optimize_partition
@@ -451,6 +496,9 @@ def _cmd_build(args) -> int:
             f"empirical optimizer: c={partition.c:g}, "
             f"T={partition.first_boundary:g}"
         )
+    # workers=None keeps the historical default (cpu-count fan-out when
+    # the python sweep is in play); an explicit --build-workers pins it.
+    sig_workers = args.build_workers if args.build_workers > 1 else None
     if args.shards > 1:
         from repro.shard import ShardedSignatureIndex
 
@@ -461,6 +509,7 @@ def _cmd_build(args) -> int:
             num_shards=args.shards,
             refine_passes=args.refine_passes,
             compress=not args.no_compress,
+            workers=sig_workers,
         )
         save_index(index, args.index_dir)
         stats = index.stats()
@@ -478,6 +527,7 @@ def _cmd_build(args) -> int:
         dataset,
         partition,
         compress=not args.no_compress,
+        workers=sig_workers,
     )
     save_index(index, args.index_dir)
     report = index.storage_report()

@@ -52,7 +52,7 @@ from repro.core.signature import (
     SignatureTable,
 )
 from repro.core.spanning_tree import NO_PARENT, ObjectSpanningTrees
-from repro.errors import IndexError_, QueryError
+from repro.errors import DisconnectedError, IndexError_, QueryError
 from repro.network.datasets import ObjectDataset
 from repro.network.graph import RoadNetwork
 from repro.obs.metrics import MetricsRegistry
@@ -631,6 +631,31 @@ class SignatureIndex:
             return operations.retrieve_distance(
                 self, node, self.rank_of(object_node)
             )
+
+    def distance_batch(self, nodes, object_nodes) -> list[float]:
+        """One distance per aligned ``(nodes[i], object_nodes[i])`` pair.
+
+        Unlike scalar :meth:`distance` — which raises
+        :class:`~repro.errors.DisconnectedError` — a disconnected pair
+        yields ``math.inf``, so one unreachable element cannot poison a
+        coalesced batch (the ``DistanceIndex`` batch contract).
+        """
+        nodes = _coerce_batch_nodes(nodes)
+        object_nodes = _coerce_batch_nodes(object_nodes)
+        if len(nodes) != len(object_nodes):
+            raise QueryError(
+                f"distance_batch needs aligned inputs: {len(nodes)} nodes "
+                f"vs {len(object_nodes)} objects"
+            )
+        ranks = [self.rank_of(object_node) for object_node in object_nodes]
+        with self._scope("query.distance_batch", count=len(nodes)):
+            out = []
+            for node, rank in zip(nodes, ranks):
+                try:
+                    out.append(operations.retrieve_distance(self, node, rank))
+                except DisconnectedError:
+                    out.append(math.inf)
+            return out
 
     def distance_range(
         self, node: int, object_node: int, delta: tuple[float, float]

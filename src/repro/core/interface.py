@@ -56,6 +56,14 @@ class DistanceIndex(Protocol):
         """Exact network distance from ``node`` to an object (Alg 1)."""
         ...
 
+    def distance_batch(self, nodes, object_nodes) -> list[float]:
+        """One distance per aligned ``(nodes[i], object_nodes[i])`` pair.
+
+        Disconnected pairs yield ``math.inf`` instead of raising, so a
+        coalesced batch never fails on one unreachable element.
+        """
+        ...
+
     def range_query(
         self, node: int, radius: float, *, with_distances: bool = False
     ):

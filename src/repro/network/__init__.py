@@ -12,7 +12,8 @@ This package is the foundation everything else builds on — the paper's
 * :mod:`repro.network.generators` — synthetic networks (random planar,
   uniform grid, ring, star);
 * :mod:`repro.network.datasets` — object placement (uniform / clustered);
-* :mod:`repro.network.io` — text serialization.
+* :mod:`repro.network.io` — text serialization;
+* :mod:`repro.network.dimacs` — DIMACS challenge ``.gr``/``.co`` loader.
 """
 
 from repro.network.astar import astar_distance, astar_path, safe_heuristic_scale
@@ -45,6 +46,7 @@ from repro.network.generators import (
     ring_network,
     star_network,
 )
+from repro.network.dimacs import load_dimacs
 from repro.network.graph import Edge, RoadNetwork
 from repro.network.stats import NetworkStats, network_stats, sample_distance_stats
 from repro.network.io import load_dataset, load_network, save_dataset, save_network
@@ -81,6 +83,7 @@ __all__ = [
     "sample_distance_stats",
     "save_network",
     "load_network",
+    "load_dimacs",
     "save_dataset",
     "load_dataset",
 ]

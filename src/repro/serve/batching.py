@@ -5,7 +5,8 @@ engine (PR 1) answers B questions in one ``(B, D)`` sweep for barely more
 than the cost of one.  The coalescer is the adapter between the two
 shapes: single-node requests that share *compatible parameters* (same
 query kind, same radius / k / flags) land in one bucket, the bucket is
-dispatched through ``range_query_batch`` / ``knn_batch`` when it fills
+dispatched through ``range_query_batch`` / ``knn_batch`` /
+``distance_batch`` when it fills
 (``max_batch``) or after a short linger (``max_wait_ms``), and each
 caller gets exactly the slice of the batched answer that is theirs.
 
@@ -61,8 +62,10 @@ class BatchKey:
     """Identity of a coalescable request family.
 
     Two requests may share a batch iff their keys are equal: same
-    ``kind`` (``"range"`` / ``"knn"``) and same parameter tuple (radius
-    and flags, or k).  Hashable, so it indexes the coalescer's buckets.
+    ``kind`` (``"range"`` / ``"knn"`` / ``"distance"``) and same
+    parameter tuple (radius and flags, or k; empty for distance, whose
+    members are ``(node, object)`` pairs).  Hashable, so it indexes the
+    coalescer's buckets.
     """
 
     __slots__ = ("kind", "params")

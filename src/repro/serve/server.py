@@ -210,6 +210,13 @@ class QueryServer:
         execution telemetry attached — page counts, span trees, worker
         identity — for the member requests' slow-query records.
         """
+        if key.kind == "distance":
+            # Distance batches always execute on the coordinator index
+            # (the scalar path never used the pools either): the hub
+            # backend answers the whole batch in one vectorized
+            # label-join kernel pass, and every other index loops its
+            # scalar primitive.
+            return self._execute_local_batch(key, nodes, batch)
         if self._shard_pools is not None:
             return self._dispatch_shard_batch(key, list(nodes), batch)
         if self._pool is not None:
@@ -236,6 +243,15 @@ class QueryServer:
                 radius, with_distances = key.params
                 results = index.range_query_batch(
                     nodes, radius, with_distances=with_distances
+                )
+            elif key.kind == "distance":
+                # Batch members are (node, object_node) pairs; the
+                # batch contract maps disconnected pairs to inf, so one
+                # unreachable pair cannot fail the whole batch.
+                pairs = list(nodes)
+                results = index.distance_batch(
+                    [pair[0] for pair in pairs],
+                    [pair[1] for pair in pairs],
                 )
             else:
                 k, with_distances = key.params
@@ -509,18 +525,27 @@ class QueryServer:
     ) -> tuple[int, dict]:
         node = self._check_node(_as_int(_require(params, "node"), "node"))
         object_node = _as_int(_require(params, "object"), "object")
+        # Validate the object *before* joining a shared batch: a bad
+        # object must 400 its own request (DatasetError -> 400), never
+        # poison the batch it would have joined.
+        self.index.dataset.rank(object_node)
         self.admission.admit()
         with self.admission.slot():
-            if ctx is not None:
-                ctx.mark_submit()
             try:
                 async with deadline_scope(self.config.deadline_ms / 1_000.0):
-                    async with self.coordinator.read():
-                        if ctx is not None:
-                            ctx.mark_dispatch()
-                        distance = self.index.distance(node, object_node)
-                    if ctx is not None:
-                        ctx.mark_execute()
+                    distance = await self.coalescer.submit(
+                        BatchKey("distance", ()), (node, object_node), ctx
+                    )
+                    if isinstance(distance, float) and math.isinf(distance):
+                        # The batch contract maps disconnected pairs to
+                        # inf; re-ask the scalar path so each backend
+                        # keeps its established semantics (signature
+                        # family: DisconnectedError -> 400; hierarchy
+                        # backends: inf -> JSON null).
+                        async with self.coordinator.read():
+                            distance = self.index.distance(
+                                node, object_node
+                            )
             except TimeoutError:
                 raise self.admission.timed_out() from None
         return 200, {

@@ -972,6 +972,28 @@ class ShardedSignatureIndex:
                 raise DisconnectedError(node, rank)
             return value
 
+    def distance_batch(self, nodes, object_nodes) -> list[float]:
+        """One distance per aligned ``(nodes[i], object_nodes[i])`` pair.
+
+        Per the ``DistanceIndex`` batch contract, disconnected pairs
+        yield ``math.inf`` instead of the scalar path's
+        :class:`~repro.errors.DisconnectedError`.
+        """
+        nodes = _coerce_batch_nodes(nodes)
+        object_nodes = _coerce_batch_nodes(object_nodes)
+        if len(nodes) != len(object_nodes):
+            raise QueryError(
+                f"distance_batch needs aligned inputs: {len(nodes)} nodes "
+                f"vs {len(object_nodes)} objects"
+            )
+        ranks = [self.rank_of(object_node) for object_node in object_nodes]
+        with self._scope("query.distance_batch", count=len(nodes)):
+            out = []
+            for node, rank in zip(nodes, ranks):
+                _, row = self._exact_row(node)
+                out.append(float(row[rank]))
+            return out
+
     def range_query(self, node: int, radius: float, *,
                     with_distances: bool = False):
         with self._scope(

@@ -1,0 +1,201 @@
+"""Parallel-build determinism and batch-kernel equivalence (PR 9).
+
+The round-based contraction and the two-phase label distillation promise
+**bit-identical output for any worker count** — not "equivalent", the
+same bytes.  These generative tests pin that promise on random planar
+networks (with ``parallel_threshold=1`` so even tiny graphs actually
+exercise the process pools), and pin the vectorized batch label-join to
+the scalar sorted-merge it replaces, including disconnected pairs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends.base import batch_label_join_csr, label_join
+from repro.backends.ch import CHIndex, ContractionHierarchy
+from repro.backends.hub_labels import HubLabelIndex, build_labels
+from repro.errors import DisconnectedError
+from repro.network.datasets import ObjectDataset, uniform_dataset
+from repro.network.generators import random_planar_network
+from repro.network.graph import RoadNetwork
+
+WORKER_COUNTS = (2, 4)
+
+_BUILD_SETTINGS = settings(
+    max_examples=5,
+    deadline=None,  # process pools make wall-clock meaningless
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _arrays_of(hierarchy, labels):
+    return (
+        hierarchy.order,
+        hierarchy.up_indptr,
+        hierarchy.up_targets,
+        hierarchy.up_weights,
+        *labels,
+    )
+
+
+def _two_component_network() -> RoadNetwork:
+    """Two separate paths: 0-1-2 and 3-4."""
+    net = RoadNetwork([(0, 0), (1, 0), (2, 0), (9, 9), (10, 9)])
+    net.add_edge(0, 1, 2.0)
+    net.add_edge(1, 2, 3.0)
+    net.add_edge(3, 4, 1.0)
+    return net
+
+
+class TestParallelBuildDeterminism:
+    @_BUILD_SETTINGS
+    @given(
+        num_nodes=st.integers(30, 120),
+        seed=st.integers(0, 10_000),
+    )
+    def test_hierarchy_and_labels_bit_identical(self, num_nodes, seed):
+        network = random_planar_network(num_nodes, seed=seed)
+        serial_h = ContractionHierarchy.build(network, workers=1)
+        serial_l = build_labels(serial_h, workers=1)
+        for workers in WORKER_COUNTS:
+            parallel_h = ContractionHierarchy.build(
+                network, workers=workers, parallel_threshold=1
+            )
+            parallel_l = build_labels(
+                parallel_h, workers=workers, parallel_threshold=1
+            )
+            assert parallel_h.num_shortcuts == serial_h.num_shortcuts
+            assert parallel_h.rounds == serial_h.rounds
+            for a, b in zip(
+                _arrays_of(serial_h, serial_l),
+                _arrays_of(parallel_h, parallel_l),
+            ):
+                assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+
+    def test_persisted_snapshots_identical_modulo_provenance(self, tmp_path):
+        """Saving a serial and a parallel build yields the same bytes in
+        every array file; only the ``build_workers`` provenance line in
+        ``meta.txt`` may differ."""
+        from repro.core.persistence import save_index
+
+        network = random_planar_network(150, seed=99)
+        dataset = uniform_dataset(network, density=0.05, seed=5)
+        for cls, name in ((CHIndex, "ch"), (HubLabelIndex, "hub")):
+            serial_dir = tmp_path / f"{name}-serial"
+            parallel_dir = tmp_path / f"{name}-parallel"
+            save_index(cls.build(network, dataset, workers=1), serial_dir)
+            save_index(
+                cls.build(network, dataset, workers=2, parallel_threshold=1),
+                parallel_dir,
+            )
+            serial_bins = sorted((serial_dir / "arrays").glob("*.bin"))
+            parallel_bins = sorted((parallel_dir / "arrays").glob("*.bin"))
+            assert [p.name for p in serial_bins] == [
+                p.name for p in parallel_bins
+            ]
+            for a, b in zip(serial_bins, parallel_bins):
+                assert a.read_bytes() == b.read_bytes(), a.name
+            strip = lambda path: [
+                line
+                for line in (path / "meta.txt").read_text().splitlines()
+                if not line.startswith("build_workers ")
+            ]
+            assert strip(serial_dir) == strip(parallel_dir)
+
+    def test_settle_cap_round_trips_through_persistence(self, tmp_path):
+        network = random_planar_network(80, seed=3)
+        dataset = uniform_dataset(network, density=0.05, seed=3)
+        from repro.core.persistence import load_index
+
+        from repro.core.persistence import save_index
+
+        index = HubLabelIndex.build(
+            network, dataset, settle_cap=17, workers=2, parallel_threshold=1
+        )
+        save_index(index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.settle_cap == 17
+        assert loaded.build_workers == 2
+        assert loaded.stats()["settle_cap"] == 17
+
+
+class TestBatchKernelEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_nodes=st.integers(20, 90),
+        seed=st.integers(0, 10_000),
+        pair_seed=st.integers(0, 10_000),
+    )
+    def test_batch_join_matches_scalar_join(
+        self, num_nodes, seed, pair_seed
+    ):
+        network = random_planar_network(num_nodes, seed=seed)
+        hierarchy = ContractionHierarchy.build(network)
+        indptr, hubs, dists = build_labels(hierarchy)
+        rng = np.random.default_rng(pair_seed)
+        left = rng.integers(0, num_nodes, size=64)
+        right = rng.integers(0, num_nodes, size=64)
+        batched = batch_label_join_csr(indptr, hubs, dists, left, right)
+        for u, v, got in zip(left, right, batched):
+            lo_u, hi_u = indptr[u], indptr[u + 1]
+            lo_v, hi_v = indptr[v], indptr[v + 1]
+            want = label_join(
+                hubs[lo_u:hi_u], dists[lo_u:hi_u],
+                hubs[lo_v:hi_v], dists[lo_v:hi_v],
+            )
+            assert got == want  # bit-identical, not approx
+
+    def test_disconnected_pairs_are_inf(self):
+        hierarchy = ContractionHierarchy.build(_two_component_network())
+        indptr, hubs, dists = build_labels(hierarchy)
+        out = batch_label_join_csr(
+            indptr, hubs, dists,
+            np.array([0, 2, 3, 0]), np.array([3, 4, 4, 2]),
+        )
+        assert math.isinf(out[0]) and math.isinf(out[1])
+        assert out[2] == 1.0
+        assert out[3] == 5.0
+
+    def test_distance_batch_parity_across_backends(self):
+        """Every index family answers ``distance_batch`` with exactly its
+        scalar answers; the signature family maps its scalar
+        ``DisconnectedError`` to ``inf`` in the batch."""
+        from repro.core import SignatureIndex
+
+        network = _two_component_network()
+        dataset = ObjectDataset([0, 4])
+        nodes = [0, 1, 2, 3, 4, 2]
+        objects = [0, 0, 4, 4, 4, 0]
+        for build in (
+            lambda: SignatureIndex.build(network, dataset, backend="python"),
+            lambda: CHIndex.build(network, dataset),
+            lambda: HubLabelIndex.build(network, dataset),
+        ):
+            index = build()
+            batch = index.distance_batch(nodes, objects)
+            for node, obj, got in zip(nodes, objects, batch):
+                try:
+                    want = index.distance(node, obj)
+                except DisconnectedError:
+                    want = math.inf
+                if isinstance(want, float) and math.isinf(want):
+                    assert math.isinf(got), (type(index).__name__, node, obj)
+                else:
+                    assert got == want, (type(index).__name__, node, obj)
+
+    def test_distance_batch_validates_before_computing(self):
+        index = HubLabelIndex.build(
+            _two_component_network(), ObjectDataset([0])
+        )
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            index.distance_batch([0, 1], [0])  # misaligned
+        with pytest.raises(Exception):
+            index.distance_batch([0], [1])  # 1 is not an object

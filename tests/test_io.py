@@ -82,3 +82,69 @@ class TestDatasetIO:
         path.write_text("garbage\n1\n2\n")
         with pytest.raises(GraphError):
             load_dataset(path)
+
+
+class TestDimacsIO:
+    GR = (
+        "c tiny DIMACS sample\n"
+        "p sp 4 8\n"
+        "a 1 2 3\na 2 1 3\n"
+        "a 2 3 2\na 3 2 4\n"  # asymmetric pair: min wins
+        "a 3 4 1\na 4 3 1\n"
+        "a 1 4 10\na 4 1 10\n"
+    )
+    CO = (
+        "c coords\np aux sp co 4\n"
+        "v 1 -73 40\nv 2 -74 41\nv 3 -75 42\nv 4 -76 43\n"
+    )
+
+    def _write(self, tmp_path, text, name):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_loads_undirected_min_weight_graph(self, tmp_path):
+        from repro.network import load_dimacs
+
+        net = load_dimacs(self._write(tmp_path, self.GR, "t.gr"))
+        assert net.num_nodes == 4
+        assert net.num_edges == 4
+        assert dict(net.neighbors(1))[2] == 2.0  # min(2, 4)
+        assert net.coordinates(0) == (0.0, 0.0)  # placeholder without .co
+
+    def test_coordinates_from_co_file(self, tmp_path):
+        from repro.network import load_dimacs
+
+        net = load_dimacs(
+            self._write(tmp_path, self.GR, "t.gr"),
+            self._write(tmp_path, self.CO, "t.co"),
+        )
+        assert net.coordinates(0) == (-73.0, 40.0)
+        assert net.coordinates(3) == (-76.0, 43.0)
+
+    def test_gzip_transparent_and_deterministic(self, tmp_path):
+        import gzip
+
+        from repro.network import load_dimacs
+
+        plain = load_dimacs(self._write(tmp_path, self.GR, "t.gr"))
+        gz_path = tmp_path / "t.gr.gz"
+        with gzip.open(gz_path, "wt") as stream:
+            stream.write(self.GR)
+        zipped = load_dimacs(gz_path)
+        for node in range(4):
+            assert list(plain.neighbors(node)) == list(zipped.neighbors(node))
+
+    def test_malformed_inputs_raise_graph_error(self, tmp_path):
+        from repro.network import load_dimacs
+
+        cases = [
+            "a 1 2 3\n",                      # arc before problem line
+            "p sp 2 1\na 1 3 5\n",            # endpoint out of range
+            "p sp 2 1\na 1 2 0\n",            # non-positive weight
+            "p sp 2 1\nx 1 2 3\n",            # unknown line type
+            "c only comments\n",              # no problem line
+        ]
+        for text in cases:
+            with pytest.raises(GraphError):
+                load_dimacs(self._write(tmp_path, text, "bad.gr"))

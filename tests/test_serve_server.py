@@ -142,6 +142,132 @@ class TestCoalescing:
         assert snapshot["histograms"]["serve.batch_size"]["max"] >= 4
 
 
+class TestDistanceCoalescing:
+    """/v1/distance rides the coalescer; disconnected pairs keep their
+    per-backend scalar semantics (signature: 400, hierarchy: null)."""
+
+    @staticmethod
+    def _two_component_network():
+        from repro.network.graph import RoadNetwork
+
+        net = RoadNetwork([(0, 0), (1, 0), (9, 9), (10, 9)])
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)
+        return net
+
+    def test_concurrent_distances_share_batches_and_match(
+        self, updatable_index
+    ):
+        index = updatable_index  # fresh metrics registry per test
+        objects = [int(obj) for obj in index.dataset]
+        pairs = [(node, objects[node % len(objects)]) for node in range(16)]
+        expected = [index.distance(node, obj) for node, obj in pairs]
+
+        async def main():
+            async with serving(
+                index, max_batch=16, max_wait_ms=50.0
+            ) as (server, client):
+                clients = [
+                    ServeClient(server.host, server.port) for _ in pairs
+                ]
+                try:
+                    responses = await asyncio.gather(
+                        *(
+                            c.distance(node, obj)
+                            for (node, obj), c in zip(pairs, clients)
+                        )
+                    )
+                finally:
+                    for c in clients:
+                        await c.close()
+                for want, response in zip(expected, responses):
+                    assert response.status == 200
+                    assert response.payload["distance"] == pytest.approx(want)
+
+        asyncio.run(main())
+        snapshot = index.metrics.snapshot()
+        assert snapshot["counters"]["serve.coalesced_requests"] == 16
+        assert snapshot["counters"]["serve.batches"] <= 4
+        # count=len(pairs) per batch: all 16 pairs went through the
+        # batch entry point, not 16 scalar calls.
+        assert snapshot["counters"]["query.distance_batch.count"] == 16
+
+    def test_hub_backend_batches_hit_the_label_kernel(
+        self, small_net, small_objs
+    ):
+        from repro.backends.hub_labels import HubLabelIndex
+
+        index = HubLabelIndex.build(small_net.copy(), small_objs)
+        objects = [int(obj) for obj in index.dataset]
+        pairs = [(node, objects[node % len(objects)]) for node in range(12)]
+        expected = [index.distance(node, obj) for node, obj in pairs]
+
+        async def main():
+            async with serving(
+                index, max_batch=12, max_wait_ms=50.0
+            ) as (server, client):
+                clients = [
+                    ServeClient(server.host, server.port) for _ in pairs
+                ]
+                try:
+                    responses = await asyncio.gather(
+                        *(
+                            c.distance(node, obj)
+                            for (node, obj), c in zip(pairs, clients)
+                        )
+                    )
+                finally:
+                    for c in clients:
+                        await c.close()
+                for want, response in zip(expected, responses):
+                    assert response.status == 200
+                    assert response.payload["distance"] == pytest.approx(want)
+
+        asyncio.run(main())
+        snapshot = index.metrics.snapshot()
+        assert snapshot["counters"]["query.distance_batch.kernel_pairs"] == 12
+        assert "query.distance_batch.scalar_pairs" not in snapshot["counters"]
+
+    def test_disconnected_pair_is_400_for_signature(self):
+        from repro.core import SignatureIndex
+        from repro.network.datasets import ObjectDataset
+
+        index = SignatureIndex.build(
+            self._two_component_network(), ObjectDataset([0]),
+            backend="python",
+        )
+
+        async def main():
+            async with serving(index) as (server, client):
+                reachable = await client.distance(1, 0)
+                assert reachable.status == 200
+                assert reachable.payload["distance"] == pytest.approx(1.0)
+                unreachable = await client.distance(2, 0)
+                assert unreachable.status == 400
+                assert "error" in unreachable.payload
+
+        asyncio.run(main())
+
+    def test_disconnected_pair_is_null_for_hub(self):
+        from repro.backends.hub_labels import HubLabelIndex
+        from repro.network.datasets import ObjectDataset
+
+        index = HubLabelIndex.build(
+            self._two_component_network(), ObjectDataset([0])
+        )
+
+        async def main():
+            async with serving(index) as (server, client):
+                reachable = await client.distance(1, 0)
+                assert reachable.status == 200
+                assert reachable.payload["distance"] == pytest.approx(1.0)
+                unreachable = await client.distance(2, 0)
+                assert unreachable.status == 200
+                assert unreachable.payload["distance"] is None
+
+        asyncio.run(main())
+
+
 class TestValidation:
     def test_bad_requests_get_400(self, sig_index):
         async def main():
