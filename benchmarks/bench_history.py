@@ -131,6 +131,27 @@ METRIC_SPECS: dict[str, dict[str, dict[str, tuple[str, ...]]]] = {
             "batch_join_qps": ("batch_kernel", "batch_qps"),
         },
     },
+    "updates": {
+        "ratio": {
+            "ch_incremental_vs_rebuild": (
+                "speedups", "ch_incremental_vs_rebuild",
+            ),
+            "hub_incremental_vs_rebuild": (
+                "speedups", "hub_incremental_vs_rebuild",
+            ),
+        },
+        "qps": {
+            "signature_updates_per_s": (
+                "signature_family", "signature", "updates_per_s",
+            ),
+            "ch_incremental_updates_per_s": (
+                "hierarchy", "ch", "incremental_updates_per_s",
+            ),
+            "hub_incremental_updates_per_s": (
+                "hierarchy", "hub", "incremental_updates_per_s",
+            ),
+        },
+    },
     "backends": {
         "ratio": {
             "hub_vs_signature_distance": (

@@ -813,7 +813,7 @@ class HierarchyIndexBase:
             return reducer([distance for _, distance in pairs])
 
     # ------------------------------------------------------------------
-    # updates (§5.4): documented rebuild-on-update
+    # updates (§5.4): the unified changeset pipeline + legacy mutators
     # ------------------------------------------------------------------
     def _full_rebuild_report(self) -> update.UpdateReport:
         # Rebuild-on-update touches everything; report it honestly.
@@ -823,6 +823,60 @@ class HierarchyIndexBase:
             touched_nodes=self.network.num_nodes,
             recompressed_nodes=0,
         )
+
+    def apply_updates(self, changeset):
+        """Apply a coalesced batch of edge deltas under one maintenance
+        pass.
+
+        The whole batch is validated before anything mutates (structural
+        problems raise :class:`~repro.errors.QueryError`, unknown nodes
+        and edges :class:`~repro.errors.DatasetError`), then handed to
+        the backend's ``_apply_changeset`` hook — incremental repair
+        where the backend supports it, rebuild-from-network otherwise.
+        Returns an :class:`~repro.core.changeset.ApplyResult`.
+        """
+        from repro.core.changeset import ApplyResult, as_changeset
+
+        changeset = as_changeset(changeset)
+        changeset.validate(self.network)
+        result = ApplyResult(applied=len(changeset))
+        with self._scope("update.apply", deltas=len(changeset)):
+            self._apply_changeset(changeset, result)
+        self.metrics.counter(
+            f"backend.{self.backend_name}.update.applied"
+        ).inc(len(changeset))
+        return result
+
+    def _apply_changeset(self, changeset, result) -> None:
+        """Default maintenance strategy: mutate the network, rebuild.
+
+        Backends with an incremental path override this; they must
+        record their outcome on ``result`` (``bump("repaired")`` /
+        ``bump("rebuilt")``) and mirror it onto
+        ``backend.<name>.update.{repaired,rebuilt}`` counters.
+        """
+        from repro.core.changeset import apply_changeset_to_network
+
+        apply_changeset_to_network(self.network, changeset)
+        self._note_rebuilt(result)
+
+    def _rebuild_for_update(self) -> None:
+        """The rebuild flavor ``apply_updates`` fallbacks use.
+
+        Subclasses with an incremental path override this to rebuild
+        *with repair recording*, so the next changeset can repair.
+        """
+        self._rebuild()
+
+    def _note_rebuilt(self, result) -> None:
+        """Rebuild from ``self.network`` and account for it."""
+        self._rebuild_for_update()
+        self.metrics.counter("backend.rebuilds").inc()
+        self.metrics.counter(
+            f"backend.{self.backend_name}.update.rebuilt"
+        ).inc()
+        result.bump("rebuilt")
+        result.report.merge(self._full_rebuild_report())
 
     def add_edge(self, u: int, v: int, weight: float) -> update.UpdateReport:
         """Insert an edge; the backend rebuilds from the mutated network."""

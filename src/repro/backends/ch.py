@@ -57,6 +57,7 @@ from repro.backends.base import (
 )
 from repro.backends.parallel import FanoutRunner
 from repro.core.signature import ObjectDistanceTable
+from repro.core.update import UpdateReport
 from repro.network.graph import RoadNetwork
 from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.tracing import Tracer
@@ -82,12 +83,16 @@ def _witness_distances(
     targets: set[int],
     bound: float,
     settle_cap: int = WITNESS_SETTLE_CAP,
+    visited: set[int] | None = None,
 ) -> dict[int, float]:
     """Bounded Dijkstra over the *uncontracted* graph minus ``excluded``.
 
     Returns the exact distances found to ``targets`` (missing targets
     were not proven reachable within ``bound`` under the settle cap —
-    the caller must then insert a shortcut).
+    the caller must then insert a shortcut).  When ``visited`` is given,
+    every node the search assigned a tentative distance is added to it —
+    the witness-dependency set incremental repair records (the search's
+    outcome depends only on edges among those nodes).
     """
     dist: dict[int, float] = {source: 0.0}
     heap: list[tuple[float, int]] = [(0.0, source)]
@@ -111,6 +116,8 @@ def _witness_distances(
             if nd < dist.get(w, math.inf):
                 dist[w] = nd
                 heappush(heap, (nd, w))
+    if visited is not None:
+        visited.update(dist)
     return found
 
 
@@ -119,12 +126,26 @@ def _shortcuts_for(
     contracted: np.ndarray,
     v: int,
     settle_cap: int,
-) -> tuple[list[tuple[int, int, float]], int]:
+    record: bool = False,
+):
     """Shortcuts contraction of ``v`` needs (u < w, both live), plus
-    ``v``'s live degree (the witness work already enumerates it)."""
+    ``v``'s live degree (the witness work already enumerates it).
+
+    With ``record``, also returns ``v``'s witness-dependency set: ``v``
+    itself, its live neighbors, and every node any witness search
+    touched — the complete read set of this contraction decision.  An
+    edge none of those nodes is an endpoint of cannot change the
+    decision (witness paths lie entirely inside the touched set, and
+    weight *decreases* elsewhere only make kept shortcuts redundant,
+    never incorrect).
+    """
     neighbors = [
         (u, weight) for u, weight in adj[v].items() if not contracted[u]
     ]
+    visited: set[int] | None = None
+    if record:
+        visited = {v}
+        visited.update(u for u, _ in neighbors)
     needed: list[tuple[int, int, float]] = []
     for i, (u, wu) in enumerate(neighbors):
         targets = {w for w, _ in neighbors[i + 1:]}
@@ -132,24 +153,143 @@ def _shortcuts_for(
             continue
         bound = wu + max(ww for w, ww in neighbors[i + 1:])
         witness = _witness_distances(
-            adj, contracted, u, v, targets, bound, settle_cap
+            adj, contracted, u, v, targets, bound, settle_cap,
+            visited=visited,
         )
         for w, ww in neighbors[i + 1:]:
             through = wu + ww
             if witness.get(w, math.inf) > through:
                 needed.append((u, w, through))
+    if record:
+        return needed, len(neighbors), sorted(visited)
     return needed, len(neighbors)
 
 
 def _shortcut_chunk(state, nodes):
     """Fan-out work function: witness searches for a chunk of nodes."""
-    adj, contracted, settle_cap = state
+    adj, contracted, settle_cap, record = state
     out = []
     for v in nodes:
         v = int(v)
-        shortcuts, live_degree = _shortcuts_for(adj, contracted, v, settle_cap)
-        out.append((v, shortcuts, live_degree))
+        if record:
+            shortcuts, live_degree, visited = _shortcuts_for(
+                adj, contracted, v, settle_cap, record=True
+            )
+        else:
+            shortcuts, live_degree = _shortcuts_for(
+                adj, contracted, v, settle_cap
+            )
+            visited = None
+        out.append((v, shortcuts, live_degree, visited))
     return out
+
+
+class RepairState:
+    """What incremental repair needs to replay a contraction.
+
+    Recorded during a ``record_repair=True`` build: for every node, the
+    shortcut pairs its contraction decided on (with weights) and its
+    witness-dependency set (see :func:`_shortcuts_for`).  The inverted
+    *dependency index* — for node ``x``, which contractions read ``x`` —
+    is derived lazily as a CSR and cached until a repair re-records
+    nodes.
+    """
+
+    __slots__ = ("pairs", "visited", "_deps")
+
+    def __init__(
+        self,
+        pairs: list[list[tuple[int, int, float]]],
+        visited: list[list[int]],
+    ) -> None:
+        self.pairs = pairs
+        self.visited = visited
+        self._deps: tuple[np.ndarray, np.ndarray] | None = None
+
+    def nbytes(self) -> int:
+        """Approximate footprint (ints assumed 8 bytes, pairs 24)."""
+        return 8 * sum(len(s) for s in self.visited) + 24 * sum(
+            len(p) for p in self.pairs
+        )
+
+    def invalidate_deps(self) -> None:
+        self._deps = None
+
+    def deps_csr(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, contractors)``: who read node ``x``, as a CSR."""
+        if self._deps is not None:
+            return self._deps
+        total = sum(len(seen) for seen in self.visited)
+        read = np.empty(total, dtype=np.int64)
+        contractor = np.empty(total, dtype=np.int64)
+        pos = 0
+        for v, seen in enumerate(self.visited):
+            k = len(seen)
+            read[pos:pos + k] = seen
+            contractor[pos:pos + k] = v
+            pos += k
+        by_read = np.argsort(read, kind="stable")
+        read = read[by_read]
+        contractor = contractor[by_read]
+        indptr = np.searchsorted(read, np.arange(n + 1))
+        self._deps = (indptr, contractor)
+        return self._deps
+
+
+class RepairOutcome:
+    """What one :meth:`ContractionHierarchy.repair` pass changed."""
+
+    __slots__ = (
+        "changed_up", "damaged", "repaired", "old_indptr", "old_targets",
+    )
+
+    def __init__(self, changed_up, damaged, repaired, old_indptr,
+                 old_targets) -> None:
+        #: Nodes whose upward edge list (targets or weights) changed.
+        self.changed_up = changed_up
+        #: Size of the final damage set (re-contracted nodes).
+        self.damaged = damaged
+        #: Damaged nodes whose witness searches actually re-ran.
+        self.repaired = repaired
+        #: The pre-repair upward CSR (for downward-closure computation).
+        self.old_indptr = old_indptr
+        self.old_targets = old_targets
+
+
+def downward_closure(
+    old_indptr: np.ndarray,
+    old_targets: np.ndarray,
+    new_indptr: np.ndarray,
+    new_targets: np.ndarray,
+    seeds,
+    n: int,
+) -> np.ndarray:
+    """Nodes whose stalled upward search space may differ after repair.
+
+    A node's upward sweep reads only the upward edges of nodes it
+    reaches, so its search space can change only if it reaches — in the
+    old upward graph or the new one — a node whose upward edges changed.
+    Returns a boolean mask of that reverse-reachable closure over the
+    union of both graphs (seeds included).
+    """
+    reverse: list[list[int]] = [[] for _ in range(n)]
+    for indptr, targets in (
+        (old_indptr, old_targets), (new_indptr, new_targets),
+    ):
+        for v in range(n):
+            for pos in range(int(indptr[v]), int(indptr[v + 1])):
+                reverse[int(targets[pos])].append(v)
+    affected = np.zeros(n, dtype=bool)
+    stack = [int(s) for s in seeds]
+    for s in stack:
+        affected[s] = True
+    while stack:
+        x = stack.pop()
+        for v in reverse[x]:
+            if not affected[v]:
+                affected[v] = True
+                stack.append(v)
+    return affected
 
 
 class ContractionHierarchy:
@@ -191,6 +331,10 @@ class ContractionHierarchy:
         self.build_workers = 1
         self.rounds: int | None = None
         self.parallel_efficiency: float | None = None
+        #: Witness-dependency recording (``build(record_repair=True)``);
+        #: ``None`` for plain builds and hierarchies restored from disk —
+        #: :meth:`repair` then declines and the caller must rebuild.
+        self.repair_state: RepairState | None = None
         self.bind_metrics(metrics)
 
     def bind_metrics(self, metrics) -> None:
@@ -210,6 +354,7 @@ class ContractionHierarchy:
         settle_cap: int = WITNESS_SETTLE_CAP,
         workers: int = 1,
         parallel_threshold: int | None = None,
+        record_repair: bool = False,
         metrics=None,
     ) -> "ContractionHierarchy":
         """Contract every node of ``network`` and assemble the upward CSR.
@@ -229,6 +374,13 @@ class ContractionHierarchy:
         Witness searches are bounded by ``settle_cap``.  Parallel edges
         (possible when a shortcut doubles an original edge) keep the
         minimum weight, so the upward graph stays simple.
+
+        With ``record_repair``, each node's final shortcut decision and
+        witness-dependency set are retained on ``hierarchy.repair_state``
+        so :meth:`repair` can later replay the contraction incrementally.
+        Recording is opt-in: it adds memory proportional to the total
+        witness work and a little bookkeeping time, which plain builds
+        (and the build-time benchmarks) should not pay.
         """
         registry = metrics if metrics is not None else NULL_REGISTRY
         workers = max(1, int(workers))
@@ -263,6 +415,9 @@ class ContractionHierarchy:
         num_shortcuts = 0
         priorities = np.zeros(n, dtype=np.int64)
         cached: list[list[tuple[int, int, float]] | None] = [None] * n
+        visited_sets: list[list[int] | None] = (
+            [None] * n if record_repair else []
+        )
         stamp = np.full(n, -1, dtype=np.int64)
         dirty = np.ones(n, dtype=bool)
         node_ids = np.arange(n, dtype=np.int64)
@@ -274,11 +429,13 @@ class ContractionHierarchy:
             # Phase A: refresh candidates for nodes whose neighborhood
             # changed since their last evaluation.
             evaluate = np.flatnonzero(dirty & ~contracted)
-            state = (adj, contracted, settle_cap)
-            for v, shortcuts, live_degree in runner.run(
+            state = (adj, contracted, settle_cap, record_repair)
+            for v, shortcuts, live_degree, visited in runner.run(
                 _shortcut_chunk, state, evaluate.tolist()
             ):
                 cached[v] = shortcuts
+                if record_repair:
+                    visited_sets[v] = visited
                 stamp[v] = rounds
                 priorities[v] = (
                     len(shortcuts) - live_degree + int(deleted_neighbors[v])
@@ -310,10 +467,12 @@ class ContractionHierarchy:
             # contracted since, whose replacement path uses v itself.
             stale = [int(v) for v in sel if stamp[v] != rounds]
             if stale:
-                for v, shortcuts, _ in runner.run(
+                for v, shortcuts, _, visited in runner.run(
                     _shortcut_chunk, state, stale
                 ):
                     cached[v] = shortcuts
+                    if record_repair:
+                        visited_sets[v] = visited
                     stamp[v] = rounds
             # Merge: contract in ascending key order.  Disjoint closed
             # neighborhoods mean nothing below reads state another
@@ -374,11 +533,168 @@ class ContractionHierarchy:
         hierarchy.build_workers = workers
         hierarchy.rounds = rounds
         hierarchy.parallel_efficiency = runner.efficiency()
+        if record_repair:
+            hierarchy.repair_state = RepairState(cached, visited_sets)
         registry.gauge("backend.ch.contract.rounds").set(rounds)
         registry.gauge("backend.ch.contract.parallel_efficiency").set(
             hierarchy.parallel_efficiency
         )
         return hierarchy
+
+    # ------------------------------------------------------------------
+    # incremental repair (§5.4 for hierarchies)
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        network: RoadNetwork,
+        changed_edges,
+        *,
+        damage_limit: int | None = None,
+    ) -> RepairOutcome | None:
+        """Replay the recorded contraction against the *updated* network.
+
+        ``network`` must already carry the mutations; ``changed_edges``
+        are the canonical endpoint pairs of every added / removed /
+        re-weighted edge.  Keeps the node order fixed and re-derives the
+        upward CSR by replaying contractions in rank order over a fresh
+        overlay of the updated graph:
+
+        * a node is *damaged* if any witness search it ran (or its own
+          neighborhood) touched a changed edge's endpoint — the inverted
+          dependency index answers that in one slice per endpoint.
+          Damaged nodes re-run their witness searches against the
+          replayed overlay; any difference between the new shortcut
+          decision and the recorded one propagates damage to the
+          higher-ranked contractions that read either endpoint;
+        * an *undamaged* node's local overlay is bit-identical to what
+          the original build saw (every incident edge change damages it
+          directly, and every incoming-shortcut change is a recorded
+          pair diff of a damaged lower node), so its recorded shortcut
+          pairs — weights included — are replayed verbatim.
+
+        Replayed decisions keep the CH invariant (witness paths lie in
+        the recorded dependency sets; unseen weight decreases only make
+        kept shortcuts redundant), so queries stay exact.  Returns a
+        :class:`RepairOutcome`, or ``None`` — without committing
+        anything — when no recording exists, the node count changed, or
+        the damage set exceeds ``damage_limit`` (the caller should then
+        rebuild from scratch, recording).
+        """
+        state = self.repair_state
+        n = self.num_nodes
+        if state is None or network.num_nodes != n:
+            return None
+        if damage_limit is None:
+            damage_limit = n
+        order = self.order
+        dep_indptr, dep_contractor = state.deps_csr(n)
+        damaged = np.zeros(n, dtype=bool)
+        for edge in changed_edges:
+            for x in edge:
+                damaged[dep_contractor[dep_indptr[x]:dep_indptr[x + 1]]] = (
+                    True
+                )
+        damage_count = int(damaged.sum())
+        if damage_count > damage_limit:
+            return None
+        # Fresh overlay of the updated base graph; replay grows it with
+        # shortcuts exactly the way build() did.
+        adj: list[dict[int, float]] = [dict() for _ in range(n)]
+        for node in range(n):
+            for neighbor, weight in network.neighbors(node):
+                current = adj[node].get(neighbor)
+                if current is None or weight < current:
+                    adj[node][neighbor] = weight
+        by_rank = np.argsort(order, kind="stable")
+        contracted = np.zeros(n, dtype=bool)
+        settle_cap = self.settle_cap
+        new_pairs: dict[int, list[tuple[int, int, float]]] = {}
+        new_visited: dict[int, list[int]] = {}
+        up_edges: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        num_shortcuts = 0
+        for r in range(n):
+            v = int(by_rank[r])
+            if damaged[v]:
+                pairs, _, visited = _shortcuts_for(
+                    adj, contracted, v, settle_cap, record=True
+                )
+                old_map = {(a, b): w for a, b, w in state.pairs[v]}
+                cur_map = {(a, b): w for a, b, w in pairs}
+                for pair in old_map.keys() | cur_map.keys():
+                    if old_map.get(pair) == cur_map.get(pair):
+                        continue
+                    for x in pair:
+                        cand = dep_contractor[
+                            dep_indptr[x]:dep_indptr[x + 1]
+                        ]
+                        cand = cand[order[cand] > r]
+                        fresh = cand[~damaged[cand]]
+                        if fresh.size:
+                            damaged[fresh] = True
+                            damage_count += int(fresh.size)
+                if damage_count > damage_limit:
+                    return None
+                new_pairs[v] = pairs
+                new_visited[v] = visited
+            else:
+                pairs = state.pairs[v]
+            up_edges[v] = [
+                (u, weight)
+                for u, weight in adj[v].items()
+                if not contracted[u]
+            ]
+            for a, b, weight in pairs:
+                existing = adj[a].get(b)
+                if existing is None or weight < existing:
+                    adj[a][b] = weight
+                    adj[b][a] = weight
+                    if existing is None:
+                        num_shortcuts += 1
+            contracted[v] = True
+        # Commit: recorded state, then the upward CSR.
+        for v, pairs in new_pairs.items():
+            state.pairs[v] = pairs
+            state.visited[v] = new_visited[v]
+        if new_pairs:
+            state.invalidate_deps()
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for v in range(n):
+            indptr[v + 1] = indptr[v] + len(up_edges[v])
+        targets = np.zeros(int(indptr[-1]), dtype=np.int32)
+        weights = np.zeros(int(indptr[-1]), dtype=np.float64)
+        for v in range(n):
+            start = int(indptr[v])
+            for offset, (u, weight) in enumerate(up_edges[v]):
+                targets[start + offset] = u
+                weights[start + offset] = weight
+        old_indptr = self.up_indptr
+        old_targets = self.up_targets
+        old_weights = self.up_weights
+        changed_up: list[int] = []
+        for v in range(n):
+            lo, hi = int(indptr[v]), int(indptr[v + 1])
+            olo, ohi = int(old_indptr[v]), int(old_indptr[v + 1])
+            if (
+                hi - lo != ohi - olo
+                or not np.array_equal(
+                    targets[lo:hi], old_targets[olo:ohi]
+                )
+                or not np.array_equal(
+                    weights[lo:hi], old_weights[olo:ohi]
+                )
+            ):
+                changed_up.append(v)
+        self.up_indptr = indptr
+        self.up_targets = targets
+        self.up_weights = weights
+        self.num_shortcuts = num_shortcuts
+        return RepairOutcome(
+            changed_up=changed_up,
+            damaged=damage_count,
+            repaired=len(new_pairs),
+            old_indptr=old_indptr,
+            old_targets=old_targets,
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -456,6 +772,73 @@ class ContractionHierarchy:
         ordered = np.argsort(nodes, kind="stable")
         return nodes[ordered].astype(np.int32), dists[ordered]
 
+    def batch_search_spaces(
+        self,
+        mask: np.ndarray | None = None,
+        base: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """*Unstalled* upward search spaces for every node, as one CSR.
+
+        Every upward path is strictly rank-ascending, so node ``v``'s
+        full settled set is ``{v: 0}`` merged with each upward
+        neighbor's set shifted by the edge weight — a dynamic program
+        in descending rank order that matches the non-stalling upward
+        Dijkstra bit for bit without running ``n`` heap searches.
+
+        Unstalled spaces are supersets of the stalled ones, but only by
+        entries whose settled distance exceeds the true network
+        distance (stalling suppresses an entry only when a real
+        witness path beats it), so exactness pruning produces the
+        *same* labels from either — which is why the incremental hub
+        maintenance can diff and re-prune these cheaply.
+
+        With ``mask`` and ``base`` (a prior CSR from this method), only
+        masked nodes are recomputed; unmasked nodes' slices are carried
+        over from ``base`` — valid whenever the unmasked nodes' spaces
+        are known to be unchanged (the downward-closure guarantee).
+        """
+        n = self.num_nodes
+        indptr, targets, weights = (
+            self.up_indptr, self.up_targets, self.up_weights,
+        )
+        if base is not None:
+            base_indptr, base_hubs, base_dists = base
+        nodes_out: list = [None] * n
+        dists_out: list = [None] * n
+        for v in np.argsort(self.order)[::-1]:
+            v = int(v)
+            if mask is not None and not mask[v]:
+                lo, hi = int(base_indptr[v]), int(base_indptr[v + 1])
+                nodes_out[v] = base_hubs[lo:hi]
+                dists_out[v] = base_dists[lo:hi]
+                continue
+            lo, hi = int(indptr[v]), int(indptr[v + 1])
+            parts_nodes = [np.array([v], dtype=np.int32)]
+            parts_dists = [np.zeros(1, dtype=np.float64)]
+            for pos in range(lo, hi):
+                w = int(targets[pos])
+                parts_nodes.append(nodes_out[w])
+                parts_dists.append(dists_out[w] + weights[pos])
+            cat_nodes = np.concatenate(parts_nodes)
+            cat_dists = np.concatenate(parts_dists)
+            by_node = np.argsort(cat_nodes, kind="stable")
+            cat_nodes = cat_nodes[by_node]
+            cat_dists = cat_dists[by_node]
+            starts = np.flatnonzero(
+                np.r_[True, cat_nodes[1:] != cat_nodes[:-1]]
+            )
+            nodes_out[v] = cat_nodes[starts]
+            dists_out[v] = np.minimum.reduceat(cat_dists, starts)
+        sp_indptr = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum([len(x) for x in nodes_out], out=sp_indptr[1:])
+            sp_hubs = np.concatenate(nodes_out).astype(np.int32)
+            sp_dists = np.concatenate(dists_out)
+        else:
+            sp_hubs = np.zeros(0, dtype=np.int32)
+            sp_dists = np.zeros(0, dtype=np.float64)
+        return sp_indptr, sp_hubs, sp_dists
+
     def distance(self, source: int, target: int) -> float:
         """Exact point-to-point distance (bidirectional upward Dijkstra).
 
@@ -530,6 +913,10 @@ class CHIndex(HierarchyIndexBase):
 
     backend_name = "ch"
 
+    #: ``apply_updates`` falls back to a full rebuild once the repair
+    #: damage set exceeds this fraction of the network's nodes.
+    repair_threshold = 0.25
+
     def __init__(
         self,
         network,
@@ -541,11 +928,17 @@ class CHIndex(HierarchyIndexBase):
         *,
         settle_cap: int = WITNESS_SETTLE_CAP,
         build_workers: int = 1,
+        object_entries=None,
         metrics=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.settle_cap = int(settle_cap)
         self.build_workers = max(1, int(build_workers))
+        # Per-object search spaces, aligned with dataset rank — kept so
+        # incremental repair recomputes only the affected objects'
+        # bucket entries.  ``None`` for indexes restored from disk (the
+        # first apply_updates then rebuilds, recording).
+        self._object_entries = object_entries
         super().__init__(
             network, dataset, partition, object_table, buckets,
             metrics=metrics,
@@ -560,6 +953,7 @@ class CHIndex(HierarchyIndexBase):
         settle_cap: int = WITNESS_SETTLE_CAP,
         workers: int = 1,
         parallel_threshold: int | None = None,
+        record_repair: bool = False,
         metrics=None,
     ) -> "CHIndex":
         """Contract the network, then bucket the object search spaces.
@@ -583,6 +977,7 @@ class CHIndex(HierarchyIndexBase):
                     settle_cap=settle_cap,
                     workers=workers,
                     parallel_threshold=parallel_threshold,
+                    record_repair=record_repair,
                     metrics=metrics,
                 )
                 span.set("shortcuts", hierarchy.num_shortcuts)
@@ -601,7 +996,8 @@ class CHIndex(HierarchyIndexBase):
                 )
         index = cls(
             network, dataset, hierarchy, partition, object_table, buckets,
-            settle_cap=settle_cap, build_workers=workers, metrics=metrics,
+            settle_cap=settle_cap, build_workers=workers,
+            object_entries=entries, metrics=metrics,
         )
         index._record_build_trace(trace)
         return index
@@ -628,12 +1024,13 @@ class CHIndex(HierarchyIndexBase):
     def _point_distance(self, node: int, target: int) -> float:
         return self.hierarchy.distance(node, target)
 
-    def _rebuild(self) -> None:
+    def _rebuild(self, *, record_repair: bool = False) -> None:
         rebuilt = type(self).build(
             self.network,
             self.dataset,
             settle_cap=self.settle_cap,
             workers=self.build_workers,
+            record_repair=record_repair,
             metrics=self.metrics,
         )
         self.hierarchy = rebuilt.hierarchy
@@ -641,6 +1038,83 @@ class CHIndex(HierarchyIndexBase):
         self.partition = rebuilt.partition
         self.object_table = rebuilt.object_table
         self.build_trace = rebuilt.build_trace
+        self._object_entries = rebuilt._object_entries
+
+    def _rebuild_for_update(self) -> None:
+        # Record while rebuilding so the *next* changeset can repair.
+        self._rebuild(record_repair=True)
+
+    def _refresh_object_structures(self) -> None:
+        """Re-derive buckets / object table / partition from the (partly
+        recomputed) per-object search spaces — identical to what a fresh
+        build would produce from the same entries."""
+        entries = self._object_entries
+        self.buckets = BucketLists.build(self.network.num_nodes, entries)
+        distances = pairwise_label_distances(entries)
+        self.partition = self._derive_partition(distances)
+        self.object_table = ObjectDistanceTable(
+            distances, self.partition, drop_last_category=False
+        )
+
+    def _apply_changeset(self, changeset, result) -> None:
+        """Incremental §5.4 maintenance: repair the hierarchy, then
+        recompute search spaces only for objects the repair may have
+        moved.
+
+        Falls back to a full (recording) rebuild when no repair
+        recording exists, or the contraction damage exceeds
+        ``repair_threshold`` × nodes.  Either way the resulting
+        structures are bit-identical to a fresh build on the mutated
+        network's repaired hierarchy — queries stay exact.
+        """
+        from repro.core.changeset import apply_changeset_to_network
+
+        changed_edges = changeset.edges()
+        apply_changeset_to_network(self.network, changeset)
+        n = self.network.num_nodes
+        outcome = None
+        if self._object_entries is not None:
+            limit = max(1, int(self.repair_threshold * n))
+            outcome = self.hierarchy.repair(
+                self.network, changed_edges, damage_limit=limit
+            )
+        if outcome is None:
+            self._note_rebuilt(result)
+            return
+        hierarchy = self.hierarchy
+        affected = downward_closure(
+            outcome.old_indptr,
+            outcome.old_targets,
+            hierarchy.up_indptr,
+            hierarchy.up_targets,
+            outcome.changed_up,
+            n,
+        )
+        affected_ranks = [
+            rank
+            for rank, object_node in enumerate(self.dataset)
+            if affected[int(object_node)]
+        ]
+        for rank in affected_ranks:
+            self._object_entries[rank] = hierarchy.search_space(
+                int(self.dataset[rank])
+            )
+        if affected_ranks:
+            self._refresh_object_structures()
+        self.metrics.counter("backend.ch.update.repaired").inc()
+        self.metrics.counter("backend.ch.update.damaged_nodes").inc(
+            outcome.damaged
+        )
+        result.bump("repaired")
+        result.bump("damaged_nodes", outcome.damaged)
+        result.report.merge(
+            UpdateReport(
+                affected_objects=set(affected_ranks),
+                changed_components=0,
+                touched_nodes=int(affected.sum()),
+                recompressed_nodes=0,
+            )
+        )
 
     def _structure_bytes(self) -> int:
         return self.hierarchy.nbytes() + self.buckets.nbytes()

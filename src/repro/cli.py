@@ -342,6 +342,15 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--k", type=int, default=5)
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument(
+        "--write-ratio",
+        type=float,
+        default=0.0,
+        help=(
+            "fraction of requests that become POST /v1/edges set_weight "
+            "mutations over a sampled edge set (live-traffic mode)"
+        ),
+    )
+    loadgen.add_argument(
         "--fail-on-error",
         action="store_true",
         help="exit 1 if any request errored (CI smoke gating)",
@@ -764,13 +773,24 @@ def _cmd_loadgen(args) -> int:
     import json
 
     from repro.serve import ServeClient, closed_loop, mixed_workload, open_loop
+    from repro.serve.loadgen import fetch_edge_sample
 
     async def _run():
         async with ServeClient(args.host, args.port) as probe:
             health = await probe.healthz()
             num_nodes = health.payload["nodes"]
+        edges = None
+        if args.write_ratio > 0:
+            edges = await fetch_edge_sample(
+                args.host, args.port, seed=args.seed
+            )
         workload = mixed_workload(
-            num_nodes, radius=args.radius, k=args.k, seed=args.seed
+            num_nodes,
+            radius=args.radius,
+            k=args.k,
+            seed=args.seed,
+            write_ratio=args.write_ratio,
+            edges=edges,
         )
         if args.mode == "closed":
             return await closed_loop(

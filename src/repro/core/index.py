@@ -862,6 +862,40 @@ class SignatureIndex:
     # ------------------------------------------------------------------
     # updates (§5.4)
     # ------------------------------------------------------------------
+    def apply_updates(self, changeset):
+        """Apply a validated :class:`~repro.core.changeset.ChangeSet`.
+
+        The batch entry point of the unified update pipeline: the whole
+        changeset is validated against the network *before* any tree or
+        signature mutates, then each delta runs the §5.4 incremental
+        machinery in canonical order.  Scalar, vectorized, and columnar
+        query engines all share this path — the engines read the same
+        signature arrays the §5.4 functions maintain.
+        """
+        from repro.core.changeset import ApplyResult, as_changeset
+
+        changeset = as_changeset(changeset)
+        changeset.validate(self.network)
+        result = ApplyResult()
+        with self._scope("update.apply", deltas=len(changeset)) as span:
+            for delta in changeset:
+                if delta.op == "add":
+                    report = update.add_edge(
+                        self, delta.u, delta.v, delta.weight
+                    )
+                elif delta.op == "remove":
+                    report = update.remove_edge(self, delta.u, delta.v)
+                else:
+                    report = update.set_edge_weight(
+                        self, delta.u, delta.v, delta.weight
+                    )
+                self._record_update(span, report)
+                result.report.merge(report)
+                result.applied += 1
+        result.bump("incremental", len(changeset))
+        self.metrics.counter("core.update.applied").inc(len(changeset))
+        return result
+
     def add_edge(self, u: int, v: int, weight: float) -> update.UpdateReport:
         """Insert an edge and incrementally maintain the index (§5.4.1)."""
         with self._scope("update.add_edge", u=u, v=v) as span:

@@ -95,6 +95,18 @@ class DistanceIndex(Protocol):
         ...
 
     # -- updates (§5.4) ------------------------------------------------
+    def apply_updates(self, changeset) -> Any:
+        """Apply a :class:`~repro.core.changeset.ChangeSet` atomically.
+
+        ``changeset`` may also be raw ``(op, u, v[, weight])`` tuples
+        (coerced via :func:`~repro.core.changeset.as_changeset`).  The
+        whole batch is validated before anything mutates — structural
+        problems raise :class:`~repro.errors.QueryError`, unknown nodes
+        / edges raise :class:`~repro.errors.DatasetError` — and the
+        return value is a :class:`~repro.core.changeset.ApplyResult`.
+        """
+        ...
+
     def add_edge(self, u: int, v: int, weight: float) -> UpdateReport:
         """Insert an edge and incrementally maintain the index."""
         ...

@@ -20,6 +20,7 @@ the shed/approximate tallies the serving benchmark records.
 from __future__ import annotations
 
 import asyncio
+import math
 import random
 import time
 from collections.abc import Callable
@@ -28,7 +29,13 @@ from dataclasses import dataclass, field
 from repro.obs.metrics import Histogram
 from repro.serve.client import ServeClient
 
-__all__ = ["LoadStats", "mixed_workload", "closed_loop", "open_loop"]
+__all__ = [
+    "LoadStats",
+    "mixed_workload",
+    "fetch_edge_sample",
+    "closed_loop",
+    "open_loop",
+]
 
 
 @dataclass
@@ -41,6 +48,7 @@ class LoadStats:
     shed: int = 0
     errors: int = 0
     approximate: int = 0
+    writes: int = 0
     status_counts: dict[int, int] = field(default_factory=dict)
     latency: Histogram = field(
         default_factory=lambda: Histogram("loadgen.latency_seconds")
@@ -73,6 +81,7 @@ class LoadStats:
         self.shed += other.shed
         self.errors += other.errors
         self.approximate += other.approximate
+        self.writes += other.writes
         for status, count in other.status_counts.items():
             self.status_counts[status] = (
                 self.status_counts.get(status, 0) + count
@@ -97,6 +106,7 @@ class LoadStats:
             "shed": self.shed,
             "errors": self.errors,
             "approximate": self.approximate,
+            "writes": self.writes,
             "throughput_rps": round(self.throughput_rps, 1),
             "shed_rate": round(self.shed_rate, 4),
             "status_counts": {
@@ -118,15 +128,48 @@ def mixed_workload(
     k: int = 5,
     range_fraction: float = 0.5,
     seed: int = 0,
+    write_ratio: float = 0.0,
+    edges: list[tuple[int, int, float]] | None = None,
 ) -> Callable[[], tuple[str, dict]]:
     """A request factory: random query nodes, range/kNN mixed.
 
     Returns ``next_request() -> (path, payload)``; deterministic for a
     given ``seed`` so benchmark runs are repeatable.
+
+    ``write_ratio`` turns the read workload into live traffic: that
+    fraction of requests become ``POST /v1/edges`` ``set_weight``
+    mutations over ``edges`` (a ``(u, v, weight)`` sample, normally
+    from :func:`fetch_edge_sample`).  New weights are traffic-shaped —
+    a clamped log-normal factor around the sampled base weight,
+    quantized to the same dyadic grid
+    :class:`~repro.workloads.traffic.TrafficSimulator` uses — so a
+    long run churns shortest paths without drifting the network.
     """
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError(
+            f"write_ratio must be in [0, 1], got {write_ratio}"
+        )
+    if write_ratio > 0 and not edges:
+        raise ValueError(
+            "a write workload needs an edge sample; fetch one with "
+            "fetch_edge_sample (GET /v1/edges)"
+        )
     rng = random.Random(seed)
 
+    def next_write() -> tuple[str, dict]:
+        u, v, base = edges[rng.randrange(len(edges))]
+        factor = min(max(math.exp(0.3 * rng.gauss(0.0, 1.0)), 0.25), 4.0)
+        weight = max(1.0, round(base * factor * 1024.0)) / 1024.0
+        return "/v1/edges", {
+            "op": "set_weight",
+            "u": u,
+            "v": v,
+            "weight": weight,
+        }
+
     def next_request() -> tuple[str, dict]:
+        if write_ratio > 0 and rng.random() < write_ratio:
+            return next_write()
         node = rng.randrange(num_nodes)
         if rng.random() < range_fraction:
             return "/v1/range", {"node": node, "radius": radius}
@@ -135,9 +178,29 @@ def mixed_workload(
     return next_request
 
 
+async def fetch_edge_sample(
+    host: str, port: int, *, limit: int = 256, seed: int = 0
+) -> list[tuple[int, int, float]]:
+    """Pull a deterministic edge sample from ``GET /v1/edges``."""
+    async with ServeClient(host, port) as client:
+        response = await client.request(
+            "GET", f"/v1/edges?limit={limit}&seed={seed}", None
+        )
+    if response.status != 200:
+        raise RuntimeError(
+            f"edge sample failed: HTTP {response.status} {response.payload}"
+        )
+    return [
+        (int(u), int(v), float(w))
+        for u, v, w in response.payload["edges"]
+    ]
+
+
 async def _timed_request(
     client: ServeClient, path: str, payload: dict, stats: LoadStats
 ) -> None:
+    if path == "/v1/edges":
+        stats.writes += 1
     start = time.perf_counter()
     try:
         response = await client.request("POST", path, payload)

@@ -296,6 +296,7 @@ class QueryServer:
             key.params,
         )
         self.telemetry.fold("worker", telemetry, coordinator_epoch=epoch)
+        self._maybe_compact()
         if batch is not None:
             pages = telemetry.get("pages", {})
             batch.attach_execution(
@@ -385,6 +386,7 @@ class QueryServer:
                     shards_skipped += skipped
                 else:
                     stitched[node] = stitch_row(index, shard_id, row)
+        self._maybe_compact()
         if shards_skipped and self._registry.enabled:
             self._registry.counter("knn_refine.shards_skipped").inc(
                 shards_skipped
@@ -594,16 +596,77 @@ class QueryServer:
         weight = params.get("weight")
         if weight is not None:
             weight = _as_float(weight, "weight")
-        report = await self.coordinator.apply(op, u, v, weight)
+        result = await self.coordinator.apply(op, u, v, weight)
+        self._maybe_compact()
+        report = result.report
         return 200, {
             "op": op,
             "u": u,
             "v": v,
+            "epoch": result.epoch,
+            "applied": result.applied,
+            "counters": dict(result.counters),
             "affected_objects": sorted(report.affected_objects),
             "changed_components": report.changed_components,
             "touched_nodes": report.touched_nodes,
             "recompressed_nodes": report.recompressed_nodes,
         }
+
+    async def _handle_edges_sample(self, params: dict) -> tuple[int, dict]:
+        """``GET /v1/edges`` — a deterministic sample of live edges.
+
+        Write-mode load generation needs edge identities to perturb
+        without shipping the whole network; ``seed`` makes the sample
+        reproducible across runs and ``limit`` bounds the payload.  The
+        sample is taken under the read lock so it never observes a
+        half-applied update.
+        """
+        limit = _as_int(params.get("limit", 256), "limit")
+        seed = _as_int(params.get("seed", 0), "seed")
+        if limit < 1:
+            raise _BadRequest(f"limit must be >= 1, got {limit}")
+        async with self.coordinator.read():
+            edges = [
+                (int(e.u), int(e.v), float(e.weight))
+                for e in self.index.network.edges()
+            ]
+        if limit < len(edges):
+            rng = np.random.default_rng(seed)
+            picks = rng.choice(len(edges), size=limit, replace=False)
+            edges = [edges[int(i)] for i in np.sort(picks)]
+        return 200, {
+            "edges": [[u, v, w] for u, v, w in edges],
+            "count": len(edges),
+            "epoch": self.coordinator.epoch,
+        }
+
+    def _maybe_compact(self) -> None:
+        """Drop update-log entries every worker has acknowledged.
+
+        Single-process serving keeps no replaying workers, so the log
+        compacts to the current epoch outright.  With pools, the bound
+        is the minimum epoch over every expected worker *process*
+        (:meth:`TelemetryCollector.min_acknowledged_epoch`) — ``None``
+        (a worker that has not reported yet) defers compaction, and
+        :func:`repro.serve.workers._catch_up` raising on a truncated
+        log is the backstop if this invariant is ever broken.
+        """
+        if not self.coordinator.update_log:
+            return
+        if self._shard_pools is not None:
+            expected = {
+                f"shard{shard_id}": 1
+                for shard_id, pool in enumerate(self._shard_pools)
+                if pool is not None
+            }
+        elif self._pool is not None:
+            expected = {"worker": self.config.workers}
+        else:
+            self.coordinator.compact(self.coordinator.epoch)
+            return
+        acknowledged = self.telemetry.min_acknowledged_epoch(expected)
+        if acknowledged is not None:
+            self.coordinator.compact(acknowledged)
 
     def _handle_healthz(self) -> tuple[int, dict]:
         status = "draining" if self._draining else "ok"
@@ -677,9 +740,16 @@ class QueryServer:
             elif path == "/v1/aggregate":
                 status, payload = await self._handle_aggregate(params, ctx)
             elif path == "/v1/edges":
-                if method != "POST":
-                    return 405, {"error": "POST required"}, "application/json"
-                status, payload = await self._handle_edges(params)
+                if method == "GET":
+                    status, payload = await self._handle_edges_sample(params)
+                elif method == "POST":
+                    status, payload = await self._handle_edges(params)
+                else:
+                    return (
+                        405,
+                        {"error": "GET or POST required"},
+                        "application/json",
+                    )
             else:
                 return 404, {"error": f"no route {path!r}"}, "application/json"
             return status, payload, "application/json"

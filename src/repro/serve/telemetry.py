@@ -349,6 +349,13 @@ class TelemetryCollector:
         self.started = perf_counter()
         #: Last replayed epoch per worker label (healthz's ``epochs``).
         self.epochs: dict[str, int] = {}
+        #: Last replayed epoch per (label, worker pid).  Pool labels
+        #: alias many processes under one name; update-log compaction
+        #: needs the minimum over *processes* (a process that has not
+        #: replayed past epoch E still needs entries above its own
+        #: applied epoch), so the per-label last-wins view above is not
+        #: enough.  See :meth:`min_acknowledged_epoch`.
+        self.pid_epochs: dict[str, dict[int, int]] = {}
         #: Cumulative worker-side busy seconds per label.
         self.busy_s: dict[str, float] = {}
         #: Batches folded per label.
@@ -380,6 +387,9 @@ class TelemetryCollector:
         if epoch is not None:
             epoch = int(epoch)
             self.epochs[label] = epoch
+            pid = telemetry.get("pid")
+            if pid is not None:
+                self.pid_epochs.setdefault(label, {})[int(pid)] = epoch
             self.registry.gauge(f"serve.worker_epoch.{label}").set(epoch)
             self.registry.gauge(f"serve.epoch_lag.{label}").set(
                 max(coordinator_epoch - epoch, 0)
@@ -396,6 +406,30 @@ class TelemetryCollector:
                 min(total / elapsed, 1.0)
             )
         self.batches[label] = self.batches.get(label, 0) + 1
+
+    def min_acknowledged_epoch(
+        self, expected: dict[str, int]
+    ) -> int | None:
+        """The epoch every expected worker process has replayed past.
+
+        ``expected`` maps each pool label to how many worker processes
+        serve under it (``{"worker": config.workers}`` for a flat pool,
+        ``{"shard0": 1, ...}`` for shard pools).  Returns the minimum
+        epoch over every reporting process — the compaction bound: log
+        entries at or below it can never be replayed again — or ``None``
+        when it cannot be established safely: a label has not reported
+        at all, or has reported from fewer distinct pids than expected
+        (``ProcessPoolExecutor`` spawns workers lazily, so an unseen pid
+        may sit at epoch 0 and still need the whole log).
+        """
+        floor: int | None = None
+        for label, count in expected.items():
+            pids = self.pid_epochs.get(label)
+            if not pids or len(pids) < count:
+                return None
+            label_min = min(pids.values())
+            floor = label_min if floor is None else min(floor, label_min)
+        return floor
 
     def epoch_lag(self, coordinator_epoch: int) -> dict[str, int]:
         """Per-label staleness: coordinator epoch minus last replayed."""

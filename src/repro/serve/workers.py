@@ -38,6 +38,7 @@ boundary overlay — advance the epoch without touching the shard.
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 
 import numpy as np
@@ -67,6 +68,10 @@ def _collect_telemetry(index, epoch: int, page_snap, busy_s: float, tracer):
     delta = index.counter.delta(page_snap)
     return {
         "epoch": epoch,
+        # Process identity: pool labels alias many processes under one
+        # name, and log compaction needs the min acknowledged epoch over
+        # *processes*, not labels (see TelemetryCollector).
+        "pid": os.getpid(),
         "busy_s": busy_s,
         "metrics": index.metrics.drain(),
         "pages": {"logical": delta.logical, "physical": delta.physical},
@@ -103,9 +108,12 @@ def _catch_up(index, epoch: int, log) -> None:
     """Replay update-log entries this worker has not applied yet.
 
     ``log`` holds ``(entry_epoch, op, u, v, weight)`` tuples sorted by
-    epoch; entries at or below our applied epoch are skipped, entries
-    beyond the batch's target epoch are ignored (they belong to updates
-    that committed after this batch was gated).
+    epoch — ``op == "changeset"`` carries a whole coalesced batch in
+    ``u`` (its ``(op, u, v, weight)`` delta tuples) and is applied
+    through the same ``apply_updates`` pipeline the coordinator used.
+    Entries at or below our applied epoch are skipped, entries beyond
+    the batch's target epoch are ignored (they belong to updates that
+    committed after this batch was gated).
     """
     applied = _STATE["epoch"]
     if applied >= epoch:
@@ -113,7 +121,9 @@ def _catch_up(index, epoch: int, log) -> None:
     for entry_epoch, op, u, v, weight in log:
         if entry_epoch <= applied or entry_epoch > epoch:
             continue
-        if op == "add":
+        if op == "changeset":
+            index.apply_updates(u)
+        elif op == "add":
             index.add_edge(u, v, weight)
         elif op == "remove":
             index.remove_edge(u, v)
@@ -194,6 +204,25 @@ def warm_shard() -> int:
     return _SHARD_STATE["epoch"]
 
 
+def _apply_shard_delta(worker, op: str, u, v, weight) -> None:
+    """Route one edge delta to this shard (see :func:`_catch_up_shard`)."""
+    index = worker.index
+    u_in, v_in = worker.in_shard(u), worker.in_shard(v)
+    if u_in and v_in:
+        lu, lv = worker.local_of[u], worker.local_of[v]
+        if op == "add":
+            index.add_edge(lu, lv, weight)
+        elif op == "remove":
+            index.remove_edge(lu, lv)
+        else:
+            index.set_edge_weight(lu, lv, weight)
+    elif op == "add" and (u_in or v_in):
+        node = u if u_in else v
+        if node not in worker.pseudo_rank:
+            index.add_object(worker.local_of[node])
+            worker.pseudo_rank[node] = len(worker.pseudo_rank)
+
+
 def _catch_up_shard(worker, epoch: int, log) -> None:
     """Ownership-filtered replay of the coordinator's update log.
 
@@ -213,24 +242,17 @@ def _catch_up_shard(worker, epoch: int, log) -> None:
     applied = _SHARD_STATE["epoch"]
     if applied >= epoch:
         return
-    index = worker.index
     for entry_epoch, op, u, v, weight in log:
         if entry_epoch <= applied or entry_epoch > epoch:
             continue
-        u_in, v_in = worker.in_shard(u), worker.in_shard(v)
-        if u_in and v_in:
-            lu, lv = worker.local_of[u], worker.local_of[v]
-            if op == "add":
-                index.add_edge(lu, lv, weight)
-            elif op == "remove":
-                index.remove_edge(lu, lv)
-            else:
-                index.set_edge_weight(lu, lv, weight)
-        elif op == "add" and (u_in or v_in):
-            node = u if u_in else v
-            if node not in worker.pseudo_rank:
-                index.add_object(worker.local_of[node])
-                worker.pseudo_rank[node] = len(worker.pseudo_rank)
+        if op == "changeset":
+            # A coalesced batch: route each delta exactly as a bare
+            # entry would be (deltas are canonically ordered, so every
+            # replica promotes pseudo objects in the same order).
+            for delta_op, du, dv, dw in u:
+                _apply_shard_delta(worker, delta_op, du, dv, dw)
+        else:
+            _apply_shard_delta(worker, op, u, v, weight)
         applied = entry_epoch
     if applied < epoch:
         raise RuntimeError(

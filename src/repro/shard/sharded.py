@@ -1129,7 +1129,8 @@ class ShardedSignatureIndex:
         ).astype(np.int64)
 
     def _apply_update(self, op: str, u: int, v: int,
-                      weight: float | None) -> UpdateReport:
+                      weight: float | None, *,
+                      refresh: bool = True) -> UpdateReport:
         su, sv = int(self.assignment[u]), int(self.assignment[v])
         if su == sv:
             shard = self.shards[su]
@@ -1163,8 +1164,44 @@ class ShardedSignatureIndex:
             report = UpdateReport()
         # Either way the overlay is stale: intra updates moved shard trees
         # (boundary-to-boundary distances), cut updates changed the cut.
-        self._refresh_overlay()
+        # Batched applies defer the refresh to one pass per changeset.
+        if refresh:
+            self._refresh_overlay()
         return report
+
+    def apply_updates(self, changeset):
+        """Route each delta to its owning shard(s), refresh the overlay
+        once.
+
+        Same validation contract as every other implementation
+        (structural → :class:`~repro.errors.QueryError`, unknown node /
+        edge → :class:`~repro.errors.DatasetError`, all before any
+        mutation); the boundary-to-boundary overlay — stale after every
+        delta — is recomputed once per changeset instead of once per
+        edge, which is where batching pays on the sharded index.
+        """
+        from repro.core.changeset import ApplyResult, as_changeset
+
+        changeset = as_changeset(changeset)
+        changeset.validate(self.network)
+        result = ApplyResult(applied=len(changeset))
+        touched: set[int] = set()
+        with self._scope("update.apply", deltas=len(changeset)):
+            for delta in changeset:
+                su = int(self.assignment[delta.u])
+                sv = int(self.assignment[delta.v])
+                touched.update((su, sv))
+                report = self._apply_update(
+                    delta.op, delta.u, delta.v, delta.weight,
+                    refresh=False,
+                )
+                result.report.merge(report)
+            if changeset:
+                self._refresh_overlay()
+        result.touched_shards = tuple(sorted(touched))
+        result.bump("incremental", len(changeset))
+        self.metrics.counter("shard.update.applied").inc(len(changeset))
+        return result
 
     def add_edge(self, u: int, v: int, weight: float) -> UpdateReport:
         with self._scope("update.add_edge", u=u, v=v):

@@ -19,6 +19,7 @@ from repro.workloads.suite import (
     build_experiment_suite,
     dataset_for,
 )
+from repro.workloads.traffic import QUANTUM, TrafficSimulator
 
 __all__ = [
     "QuerySpec",
@@ -34,4 +35,6 @@ __all__ = [
     "build_experiment_suite",
     "dataset_for",
     "DEFAULT_NUM_NODES",
+    "TrafficSimulator",
+    "QUANTUM",
 ]

@@ -1,0 +1,155 @@
+"""Live-traffic simulation — §5.4 update streams for maintenance benchmarks.
+
+The update path's benchmarks need a workload that looks like traffic on
+a road network rather than adversarial graph surgery: edge travel times
+drift up and down around their free-flow value as congestion forms and
+clears.  :class:`TrafficSimulator` produces exactly that as a stream of
+:class:`~repro.core.changeset.ChangeSet` batches:
+
+* **Multiplicative, anchored perturbations.**  Every event reweights an
+  edge to ``base_weight * factor`` where ``factor`` is a clamped
+  log-normal draw — perturbations are anchored to the edge's *original*
+  weight, not its current one, so a long simulation cannot drift an
+  edge's weight to zero or infinity.  The graph's structure (which paths
+  are plausible) is preserved while shortest paths keep changing.
+
+* **Dyadic quantization.**  New weights snap to the grid
+  ``1 / 2**10`` (and are floored to one quantum).  Multiples of a
+  negative power of two are exactly representable in binary floating
+  point, so path weights are exact sums and equality comparisons across
+  backends (the bit-identity assertions in the update benchmarks and
+  tests) never hinge on representation noise.
+
+* **Determinism.**  A simulator is fully determined by ``(network,
+  seed, parameters)``: two instances built alike emit identical streams,
+  which is what lets a benchmark replay the same traffic against every
+  backend and compare results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.changeset import ChangeSet
+from repro.errors import QueryError
+
+__all__ = ["TrafficSimulator", "QUANTUM"]
+
+#: The weight grid: all emitted weights are positive multiples of this.
+QUANTUM = 1.0 / 1024.0
+
+
+def _quantize(value: float) -> float:
+    """Snap ``value`` to the dyadic grid, flooring at one quantum."""
+    return max(QUANTUM, round(value / QUANTUM) * QUANTUM)
+
+
+class TrafficSimulator:
+    """A deterministic stream of traffic-shaped edge reweights.
+
+    Parameters
+    ----------
+    network:
+        The road network to perturb.  Its *current* edge weights at
+        construction time become the anchors every perturbation is
+        relative to; the simulator never mutates the network itself —
+        callers apply the emitted changesets through whatever path they
+        are benchmarking.
+    seed:
+        Stream seed; same seed, same stream.
+    volatility:
+        Standard deviation of the log-factor.  ``0.3`` means a typical
+        event moves an edge to ~74–135% of its base weight, with the
+        tails clamped by ``clamp``.
+    clamp:
+        ``(lo, hi)`` bounds on the multiplicative factor (congestion can
+        at most ``hi``-fold an edge; clearing can at most shrink it to
+        ``lo`` of base).
+    rate:
+        Advisory events-per-second for serving benchmarks (the simulator
+        itself is pull-based; drivers use :attr:`rate` to pace their
+        ticks).  ``None`` means "as fast as the driver pulls".
+    """
+
+    def __init__(
+        self,
+        network,
+        *,
+        seed: int = 0,
+        volatility: float = 0.3,
+        clamp: tuple[float, float] = (0.25, 4.0),
+        rate: float | None = None,
+    ) -> None:
+        if volatility <= 0 or not math.isfinite(volatility):
+            raise QueryError(
+                f"volatility must be a positive finite float, got {volatility}"
+            )
+        lo, hi = float(clamp[0]), float(clamp[1])
+        if not (0 < lo <= 1.0 <= hi) or not math.isfinite(hi):
+            raise QueryError(
+                f"clamp must satisfy 0 < lo <= 1 <= hi < inf, got {clamp}"
+            )
+        if rate is not None and rate <= 0:
+            raise QueryError(f"rate must be positive when set, got {rate}")
+        edges = sorted(
+            ((min(e.u, e.v), max(e.u, e.v)), float(e.weight))
+            for e in network.edges()
+        )
+        if not edges:
+            raise QueryError("cannot simulate traffic on an edgeless network")
+        #: Canonical ``(u, v) -> base weight`` anchors (fixed for life).
+        self.base: dict[tuple[int, int], float] = dict(edges)
+        self._edge_list: list[tuple[int, int]] = [edge for edge, _ in edges]
+        #: The weight the last emitted event left each edge at.
+        self.current: dict[tuple[int, int], float] = dict(self.base)
+        self.volatility = float(volatility)
+        self.clamp = (lo, hi)
+        self.rate = rate
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        #: Events emitted so far.
+        self.events = 0
+
+    def __len__(self) -> int:
+        return len(self._edge_list)
+
+    def _next_weight(self, edge: tuple[int, int]) -> float:
+        lo, hi = self.clamp
+        factor = math.exp(self.volatility * self._rng.standard_normal())
+        factor = min(max(factor, lo), hi)
+        return _quantize(self.base[edge] * factor)
+
+    def changeset(self, size: int = 1) -> ChangeSet:
+        """The next ``size`` traffic events as one coalesced changeset.
+
+        Events pick distinct edges (sampling without replacement within
+        a batch, so the changeset never has to coalesce conflicting
+        writes to one edge) and reweight each to a fresh draw around its
+        base weight.  Draws that land exactly on the edge's current
+        weight are emitted anyway — a no-op ``set_weight`` is a valid,
+        cheap event, and dropping it would make stream length depend on
+        the weights.
+        """
+        if size < 1:
+            raise QueryError(f"changeset size must be >= 1, got {size}")
+        size = min(size, len(self._edge_list))
+        picks = self._rng.choice(len(self._edge_list), size=size, replace=False)
+        deltas = []
+        for pick in np.sort(picks):
+            edge = self._edge_list[int(pick)]
+            weight = self._next_weight(edge)
+            self.current[edge] = weight
+            deltas.append(("set_weight", edge[0], edge[1], weight))
+            self.events += 1
+        return ChangeSet.build(deltas)
+
+    def stream(self, changesets: int, size: int = 1):
+        """Yield ``changesets`` consecutive batches of ``size`` events."""
+        if changesets < 0:
+            raise QueryError(
+                f"changesets must be >= 0, got {changesets}"
+            )
+        for _ in range(changesets):
+            yield self.changeset(size)

@@ -32,8 +32,15 @@ from repro.network import (
     uniform_dataset,
 )
 from repro.network.dijkstra import shortest_path_tree
+from repro.shard import ShardedSignatureIndex
 
 BACKEND_NAMES = sorted(BACKENDS)
+
+#: Every ``apply_updates`` implementation: the signature index under
+#: both query engines, the sharded router, and the two hierarchy
+#: backends.  The update-validation battery below runs against all of
+#: them so rejection behavior cannot drift apart.
+UPDATE_IMPLEMENTATIONS = ("signature", "columnar", "sharded", "ch", "hub")
 
 SAMPLE_NODES = list(range(0, 250, 13))
 RADII = (0.0, 12.0, 35.0, 80.0)
@@ -265,6 +272,102 @@ def test_updates_rebuild_to_exact_answers(name):
     index.remove_edge(far, dataset[0])
     oracle_d = shortest_path_tree(network, dataset[0]).distance[far]
     assert index.distance(far, dataset[0]) == oracle_d
+
+
+# ----------------------------------------------------------------------
+# §5.4 updates: aligned validation across every implementation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=UPDATE_IMPLEMENTATIONS)
+def updatable(request, planar):
+    """One instance of each ``apply_updates`` implementation.
+
+    Module-scoped deliberately: every test here asserts *rejection*,
+    which must leave the index untouched, so sharing is safe — and the
+    sharing itself re-checks the no-mutation contract test over test.
+    """
+    network, dataset = planar
+    name = request.param
+    if name == "signature":
+        return SignatureIndex.build(network.copy(), dataset, keep_trees=True)
+    if name == "columnar":
+        return SignatureIndex.build(
+            network.copy(), dataset, keep_trees=True,
+            query_engine="columnar",
+        )
+    if name == "sharded":
+        return ShardedSignatureIndex.build(
+            network.copy(), dataset, num_shards=2
+        )
+    return build_backend(name, network.copy(), dataset, record_repair=True)
+
+
+@pytest.mark.parametrize(
+    "item",
+    [
+        ("teleport", 0, 1, 2.0),
+        ("add", 4, 4, 1.0),
+        ("add", 0, 1),
+        ("set_weight", 0, 1, None),
+        ("add", 0, 1, 0.0),
+        ("add", 0, 1, -2.0),
+        ("add", 0, 1, math.inf),
+        ("add", 0, 1, math.nan),
+    ],
+    ids=[
+        "unknown-op", "self-loop", "missing-weight", "none-weight",
+        "zero-weight", "negative-weight", "inf-weight", "nan-weight",
+    ],
+)
+def test_structural_rejection_is_a_query_error(updatable, item):
+    with pytest.raises(QueryError):
+        updatable.apply_updates([item])
+
+
+def test_network_rejection_is_a_dataset_error(updatable, planar):
+    network, _ = planar
+    edge = next(iter(network.edges()))
+    u, v = int(edge.u), int(edge.v)
+    missing = next(
+        (a, b)
+        for a in range(network.num_nodes)
+        for b in range(a + 1, network.num_nodes)
+        if not network.has_edge(a, b)
+    )
+    with pytest.raises(DatasetError):
+        updatable.apply_updates([("set_weight", 0, 999, 2.0)])
+    with pytest.raises(DatasetError):
+        updatable.apply_updates([("add", u, v, 2.0)])
+    with pytest.raises(DatasetError):
+        updatable.apply_updates([("remove", *missing)])
+    with pytest.raises(DatasetError):
+        updatable.apply_updates([("set_weight", *missing, 2.0)])
+
+
+def test_rejection_mutates_nothing(updatable, planar, oracle):
+    _, dataset = planar
+    before = [updatable.distance(node, dataset[0]) for node in SAMPLE_NODES]
+    with pytest.raises(QueryError):
+        updatable.apply_updates([("add", 0, 1, -5.0)])
+    with pytest.raises(DatasetError):
+        updatable.apply_updates([("set_weight", 0, 999, 2.0)])
+    after = [updatable.distance(node, dataset[0]) for node in SAMPLE_NODES]
+    assert before == after == [
+        oracle[dataset[0]].distance[node] for node in SAMPLE_NODES
+    ]
+
+
+def test_whole_changeset_rejected_before_any_mutation(updatable, planar):
+    """One bad delta poisons the batch: the valid ``set_weight`` ahead
+    of it must not land."""
+    network, dataset = planar
+    edge = next(iter(network.edges()))
+    u, v = int(edge.u), int(edge.v)
+    before = updatable.distance(u, dataset[0])
+    with pytest.raises(DatasetError):
+        updatable.apply_updates(
+            [("set_weight", u, v, 123.5), ("set_weight", 0, 999, 2.0)]
+        )
+    assert updatable.distance(u, dataset[0]) == before
 
 
 # ----------------------------------------------------------------------

@@ -297,7 +297,7 @@ class TestValidation:
                     await client.request("POST", "/v1/nope", {})
                 ).status == 404
                 assert (
-                    await client.request("GET", "/v1/edges", None)
+                    await client.request("PUT", "/v1/edges", {})
                 ).status == 405
 
         asyncio.run(main())
